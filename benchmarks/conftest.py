@@ -1,0 +1,34 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+experiment harness, asserts the qualitative shape the paper reports, and
+saves the rendered table under ``benchmarks/results/``.
+
+Scale: ``REPRO_SCALE`` (default 1.0 — the calibrated operating point).
+Simulation results are shared across benchmarks through the harness's
+in-process cache (and ``REPRO_CACHE_DIR`` on disk if set), so the many
+figures that share baseline runs do not re-simulate them.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(result) -> None:
+    """Persist a rendered experiment table and echo it to stdout."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = result.experiment_id.lower().replace(" ", "_").replace(".", "_")
+    path = RESULTS_DIR / f"{slug}.md"
+    text = result.format_table()
+    path.write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Design-choice ablations: lookup ordering and I-cache packing density."""
+
+from repro.experiments import ablation_design_choices
+from benchmarks.conftest import run_once, save_table
+
+
+def test_lookup_order_ablation(benchmark):
+    result = run_once(benchmark, ablation_design_choices.run_lookup_order)
+    save_table(result)
+    lds_first = result.row_for("order", "lds-first")["gmean_speedup"]
+    icache_first = result.row_for("order", "icache-first")["gmean_speedup"]
+    # Both orders win over baseline; the paper's LDS-first choice is at
+    # least competitive (its probe is 2 cycles vs the shared structure).
+    assert lds_first > 1.15
+    assert icache_first > 1.15
+    assert lds_first >= icache_first * 0.97
+
+
+def test_icache_packing_density(benchmark):
+    result = run_once(benchmark, ablation_design_choices.run_packing_density)
+    save_table(result)
+    by_density = {
+        row["tx_per_line"]: row["gmean_speedup"] for row in result.rows
+    }
+    # One per line gains ~nothing (Figure 8b); eight per line is the
+    # paper's operating point and must deliver most of the benefit.
+    assert by_density[1] < 1.15
+    assert by_density[8] > by_density[1] + 0.2
+    # Returns diminish: 8 -> 16 adds little (tag overhead aside).
+    assert by_density[16] < by_density[8] * 1.15
+    # Monotone non-decreasing up to 8 (within noise).
+    assert by_density[2] >= by_density[1] * 0.98
+    assert by_density[4] >= by_density[2] * 0.98
+    assert by_density[8] >= by_density[4] * 0.98

@@ -1,0 +1,19 @@
+"""Section 6.3.1 ablation: 32B vs 64B LDS segments (3 vs 6 Tx ways)."""
+
+from repro.experiments import ablation_lds_segment
+from benchmarks.conftest import run_once, save_table
+
+
+def test_lds_segment_size_ablation(benchmark):
+    result = run_once(benchmark, ablation_lds_segment.run)
+    save_table(result)
+
+    small = result.row_for("segment_bytes", 32)
+    large = result.row_for("segment_bytes", 64)
+    assert small["tx_ways"] == 3
+    assert large["tx_ways"] == 6
+
+    # Paper: no performance change — the misses are capacity misses, and
+    # doubling associativity without capacity does not address them.
+    relative_change = abs(large["gmean_speedup"] - small["gmean_speedup"])
+    assert relative_change / small["gmean_speedup"] < 0.05

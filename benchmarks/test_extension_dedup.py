@@ -1,0 +1,25 @@
+"""Extension: the duplication-limiting shared-fill filter (§6.1.1 future work)."""
+
+from repro.experiments import extension_dedup
+from benchmarks.conftest import run_once, save_table
+
+
+def test_dedup_filter_extension(benchmark):
+    result = run_once(benchmark, extension_dedup.run)
+    save_table(result)
+    gmean = result.row_for("app", "GMEAN")
+
+    # The filter must not hurt overall...
+    assert gmean["icache_lds_dedup"] >= gmean["icache_lds"] * 0.98
+    # ...and should help at least one shared-heavy High app.
+    improvements = [
+        result.row_for("app", app)["icache_lds_dedup"]
+        - result.row_for("app", app)["icache_lds"]
+        for app in ("ATAX", "MVT", "BICG")
+    ]
+    assert max(improvements) > 0.0
+
+    # CU-partitioned GEV barely uses the filter (few shared pages).
+    gev = result.row_for("app", "GEV")
+    atax = result.row_for("app", "ATAX")
+    assert gev["lds_fills_skipped"] < atax["lds_fills_skipped"]

@@ -1,0 +1,25 @@
+"""Figure 2: page-table walks vs L2 TLB size (normalized to 512 entries)."""
+
+from repro.experiments import fig02_03_tlb_sweep
+from repro.workloads.registry import LOW_APPS
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig02_walks_vs_tlb_size(benchmark):
+    result = run_once(benchmark, fig02_03_tlb_sweep.run)
+    save_table(result)
+
+    sizes = [row for row in result.rows if row["l2_entries"] != "perfect"]
+    ratios = [row["mean_walk_ratio"] for row in sizes]
+
+    # Walks decrease monotonically (within noise) with TLB size...
+    assert all(b <= a * 1.02 for a, b in zip(ratios, ratios[1:]))
+    # ...and drop strongly at the largest size (paper: ~−85%).
+    assert ratios[-1] < 0.45 * ratios[0]
+
+    # SRAD and the other Low apps are insensitive (paper: SRAD has ~no
+    # walks to begin with).
+    largest = sizes[-1]
+    for app in LOW_APPS:
+        assert largest[f"{app}_walks"] >= 0.0
+        assert largest[f"{app}_speedup"] < 1.15

@@ -1,0 +1,28 @@
+"""Figure 3: performance vs L2 TLB size, and the Perfect-L2-TLB bound."""
+
+from repro.experiments import fig02_03_tlb_sweep
+from repro.workloads.registry import HIGH_APPS, LOW_APPS
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig03_perf_vs_tlb_size(benchmark):
+    result = run_once(benchmark, fig02_03_tlb_sweep.run)
+    save_table(result)
+
+    sizes = [row for row in result.rows if row["l2_entries"] != "perfect"]
+    gmeans = [row["gmean_speedup"] for row in sizes]
+    perfect = result.row_for("l2_entries", "perfect")
+
+    # Performance rises monotonically (within noise) with TLB size.
+    assert all(b >= a * 0.98 for a, b in zip(gmeans, gmeans[1:]))
+    # Growing 512 -> 8K helps noticeably (paper: +14.7% gmean).
+    assert result.row_for("l2_entries", 8192)["gmean_speedup"] > 1.08
+    # Perfect L2 TLB is the best configuration of the sweep.
+    assert perfect["gmean_speedup"] >= gmeans[-1] * 0.99
+
+    # High apps are TLB-bound: every one gains well from a perfect TLB;
+    # Low apps are not (paper: SRAD/PRK/SSSP flat).
+    for app in HIGH_APPS:
+        assert perfect[f"{app}_speedup"] > 1.4, app
+    for app in LOW_APPS:
+        assert perfect[f"{app}_speedup"] < 1.2, app

@@ -1,0 +1,24 @@
+"""Figure 4: LDS capacity (4a) and port-bandwidth (4b) under-utilization."""
+
+from repro.config import LDSConfig
+from repro.experiments import fig04_05_utilization
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig04_lds_underutilization(benchmark):
+    result = run_once(benchmark, fig04_05_utilization.run)
+    save_table(result)
+    summary = fig04_05_utilization.summarize(result)
+
+    # 4a: a large majority of apps request no LDS at all (paper: ~70%),
+    # and no app requests the full per-CU LDS.
+    assert summary["fraction_no_lds"] >= 0.5
+    lds_size = LDSConfig().size_bytes
+    for row in result.rows:
+        assert row["lds_bytes_per_wg_max"] < lds_size
+
+    # 4b: LDS-using apps leave multi-cycle idle gaps between port accesses
+    # (paper: tens of cycles) — the bandwidth the Tx overlay borrows.
+    lds_users = [row for row in result.rows if row["uses_lds"]]
+    assert lds_users
+    assert all(row["lds_idle_median"] >= 2 for row in lds_users)

@@ -1,0 +1,22 @@
+"""Figure 5: I-cache capacity (5a) and port-bandwidth (5b) utilization."""
+
+from repro.experiments import fig04_05_utilization
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig05_icache_utilization_mix(benchmark):
+    result = run_once(benchmark, fig04_05_utilization.run)
+    save_table(result)
+    summary = fig04_05_utilization.summarize(result)
+
+    # 5a: the paper finds a mix — some kernels always fill the I-cache
+    # (~24% of apps), many never do, some only sometimes.
+    assert summary["fraction_never_full_icache"] >= 0.4
+    utilizations = [row["icache_util_max"] for row in result.rows]
+    assert max(utilizations) > 0.9   # somebody fills it (SRAD-like)
+    assert min(utilizations) < 0.3   # somebody barely touches it
+
+    # 5b: idle gaps at the fetch port (paper: ~10-20 cycles typical).
+    medians = [row["icache_idle_median"] for row in result.rows]
+    assert all(m >= 1 for m in medians)
+    assert any(m >= 4 for m in medians)

@@ -1,0 +1,33 @@
+"""Figure 13a: reconfigurable I-cache design variants."""
+
+from repro.experiments import fig13_main
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig13a_icache_design_variants(benchmark):
+    result = run_once(benchmark, fig13_main.run_fig13a)
+    save_table(result)
+    gmean = result.row_for("app", "GMEAN")
+
+    # One translation per way barely helps (paper: ~0%) — 256 entries are
+    # nothing against these footprints.
+    assert gmean["one_tx_per_way"] < 1.10
+    assert gmean["one_tx_per_way"] < gmean["instruction_aware"]
+
+    # Naive replacement (translations evict instructions) is worse than
+    # instruction-aware (paper: −1.65% vs +12.4%), and actively hurts the
+    # code-footprint-heavy app.
+    assert gmean["naive_replacement"] < gmean["instruction_aware"]
+    srad = result.row_for("app", "SRAD")
+    assert srad["naive_replacement"] < 1.0
+
+    # The kernel-boundary flush adds on top (paper: +1.2% gmean)...
+    assert gmean["instruction_aware_flush"] >= gmean["instruction_aware"] * 0.995
+    # ...but cannot help single-kernel apps or back-to-back NW.
+    for app in ("GEV", "SRAD", "NW"):
+        row = result.row_for("app", app)
+        assert abs(row["instruction_aware_flush"] - row["instruction_aware"]) < 0.03
+
+    # Multi-kernel ATAX gains from the flush (paper: +35.4% extra).
+    atax = result.row_for("app", "ATAX")
+    assert atax["instruction_aware_flush"] >= atax["instruction_aware"]

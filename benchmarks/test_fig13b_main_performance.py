@@ -1,0 +1,45 @@
+"""Figure 13b: the headline result — LDS / I-cache / combined speedups."""
+
+from repro.experiments import fig13_main
+from repro.workloads.registry import LOW_APPS
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig13b_overall_performance(benchmark):
+    result = run_once(benchmark, fig13_main.run_fig13b)
+    save_table(result)
+    gmean = result.row_for("app", "GMEAN")
+    hm = result.row_for("app", "GMEAN-H+M")
+
+    # The headline: the combined design delivers a large gmean win
+    # (paper: +30.1%) and beats either structure alone.
+    assert gmean["icache+lds"] > 1.20
+    assert gmean["icache+lds"] > gmean["lds"]
+    assert gmean["icache+lds"] > gmean["icache"]
+
+    # Each standalone design also wins (paper: +8.6% and +13.6%).
+    assert gmean["lds"] > 1.05
+    assert gmean["icache"] > 1.05
+
+    # High+Medium-only gmeans are larger than all-apps (paper: 147.2% vs
+    # 30.1% for the combined design).
+    assert hm["icache+lds"] > gmean["icache+lds"]
+
+    # ATAX and BICG are the biggest winners (paper: +443%/+442%).
+    atax = result.row_for("app", "ATAX")["icache+lds"]
+    bicg = result.row_for("app", "BICG")["icache+lds"]
+    others = [
+        row["icache+lds"]
+        for row in result.rows
+        if row["app"] in ("GUPS", "NW", "SSSP", "PRK", "SRAD")
+    ]
+    assert min(atax, bicg) > max(others)
+
+    # GUPS: footprint far beyond the added reach -> small gain
+    # (paper: +9.14%).
+    gups = result.row_for("app", "GUPS")["icache+lds"]
+    assert 1.0 < gups < 1.2
+
+    # Low apps are not degraded (paper's explicit design goal).
+    for app in LOW_APPS:
+        assert result.row_for("app", app)["icache+lds"] > 0.95, app

@@ -1,0 +1,25 @@
+"""Figure 13c: normalized DRAM energy under each scheme."""
+
+from repro.experiments import fig13_main
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig13c_dram_energy(benchmark):
+    result = run_once(benchmark, fig13_main.run_fig13c)
+    save_table(result)
+    mean = result.row_for("app", "MEAN")
+
+    # All schemes reduce mean DRAM energy (paper: −4.1%/−5.2%/−9.2%):
+    # fewer page-walk DRAM accesses and shorter runtime.
+    assert mean["lds_energy"] < 1.0
+    assert mean["icache_energy"] < 1.02
+    assert mean["icache+lds_energy"] < 1.0
+    # Combined saves the most.
+    assert mean["icache+lds_energy"] <= mean["lds_energy"] + 0.02
+    assert mean["icache+lds_energy"] <= mean["icache_energy"] + 0.02
+
+    # The biggest per-app saving is substantial (paper: GEV −27.3%).
+    best = min(
+        row["icache+lds_energy"] for row in result.rows if row["app"] != "MEAN"
+    )
+    assert best < 0.85

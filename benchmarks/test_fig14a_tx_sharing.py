@@ -1,0 +1,19 @@
+"""Figure 14a: fraction of translations shared across CUs."""
+
+from repro.experiments import fig14_sharing_walks_pagesize
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig14a_translation_sharing(benchmark):
+    result = run_once(benchmark, fig14_sharing_walks_pagesize.run_fig14a)
+    save_table(result)
+    rows = {row["app"]: row["shared_pct"] for row in result.rows}
+
+    # Paper: sharing is high for most apps but low for GEV, NW and SRAD.
+    low_sharers = min(rows["GEV"], rows["NW"], rows["SRAD"])
+    high_sharers = [
+        rows[app] for app in ("ATAX", "BICG", "MVT", "GUPS", "BFS")
+    ]
+    assert all(value > rows["GEV"] for value in high_sharers)
+    assert all(value > 50.0 for value in high_sharers)
+    assert rows["GEV"] < 40.0

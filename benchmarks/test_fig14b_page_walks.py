@@ -1,0 +1,21 @@
+"""Figure 14b: page walks under each scheme, normalized to baseline."""
+
+from repro.experiments import fig14_sharing_walks_pagesize
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig14b_normalized_page_walks(benchmark):
+    result = run_once(benchmark, fig14_sharing_walks_pagesize.run_fig14b)
+    save_table(result)
+    mean = result.row_for("app", "MEAN")
+
+    # Every scheme removes a substantial fraction of walks (paper:
+    # −33.5%/−40.6%/−72.9%), combined removing the most.
+    assert mean["lds_walks"] < 0.85
+    assert mean["icache_walks"] < 0.85
+    assert mean["icache+lds_walks"] < mean["lds_walks"]
+    assert mean["icache+lds_walks"] < mean["icache_walks"]
+
+    # SRAD has ~no baseline walks, so its ratio stays ~1 (paper note).
+    srad = result.row_for("app", "SRAD")
+    assert 0.9 <= srad["icache+lds_walks"] <= 1.1

@@ -1,0 +1,27 @@
+"""Figure 15: additional translation entries gained per application."""
+
+from repro.experiments import fig15_entries
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig15_additional_entries(benchmark):
+    result = run_once(benchmark, fig15_entries.run)
+    save_table(result)
+    limits = fig15_entries.theoretical_max_entries()
+
+    # The configuration bound matches the paper exactly: 16K entries
+    # (12K LDS + 4K I-cache).
+    assert limits == {"lds": 12288, "icache": 4096, "total": 16384}
+
+    for row in result.rows:
+        assert row["total_entries"] <= limits["total"]
+        assert row["lds_entries"] <= limits["lds"]
+        assert row["icache_entries"] <= limits["icache"]
+
+    # Reach-hungry apps drive the structures near capacity; LDS-using apps
+    # necessarily gain fewer LDS entries than LDS-free ones.
+    gups = result.row_for("app", "GUPS")
+    assert gups["pct_of_max"] > 60.0
+    atax = result.row_for("app", "ATAX")
+    srad = result.row_for("app", "SRAD")
+    assert srad["lds_entries"] < atax["lds_entries"]

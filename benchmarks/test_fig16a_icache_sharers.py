@@ -1,0 +1,19 @@
+"""Figure 16a: sensitivity to the number of CUs sharing one I-cache."""
+
+from repro.experiments import fig16_sensitivity
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig16a_icache_sharers(benchmark):
+    result = run_once(benchmark, fig16_sensitivity.run_fig16a)
+    save_table(result)
+
+    by_sharers = {
+        row["cus_per_icache"]: row["gmean_speedup"] for row in result.rows
+    }
+    # More sharers -> less translation duplication -> more benefit
+    # (paper: +17.3% at 1 rising to +38.4% at 8), monotone within noise.
+    assert by_sharers[8] > by_sharers[1]
+    assert by_sharers[4] > by_sharers[1]
+    assert by_sharers[2] >= by_sharers[1] * 0.98
+    assert by_sharers[8] >= by_sharers[4] * 0.97

@@ -1,0 +1,22 @@
+"""Figure 16b: extra translation wire latency (layout constraints)."""
+
+from repro.experiments import fig16_sensitivity
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig16b_wire_latency(benchmark):
+    result = run_once(benchmark, fig16_sensitivity.run_fig16b)
+    save_table(result)
+    arms = {row["arm"]: row["gmean_speedup"] for row in result.rows}
+
+    # Even the worst case — +100 cycles to both structures — retains a
+    # clear gmean win (paper: +9.4%): wavefront-level latency hiding.
+    assert arms["ic_lds_100"] > 1.05
+
+    # Degradation is monotone in the added latency (within noise).
+    assert arms["ic_lds_100"] <= arms["ic_lds_10"] * 1.01
+    assert arms["ic_lds_10"] <= arms["no_extra"] * 1.01
+
+    # Hitting only one structure hurts less than hitting both.
+    assert arms["ic_only_100"] >= arms["ic_lds_100"] * 0.99
+    assert arms["lds_only_100"] >= arms["ic_lds_100"] * 0.99

@@ -1,0 +1,23 @@
+"""Figure 16c: comparison and composition with DUCATI."""
+
+from repro.experiments import fig16_sensitivity
+from benchmarks.conftest import run_once, save_table
+
+
+def test_fig16c_ducati(benchmark):
+    result = run_once(benchmark, fig16_sensitivity.run_fig16c)
+    save_table(result)
+    gmean = result.row_for("app", "GMEAN")
+
+    # DUCATI helps, but far less than the reconfigurable design (paper:
+    # +4.9% vs +30.1%): its hits contend with data and spill off-chip.
+    assert 1.0 < gmean["ducati"] < gmean["icache_lds"]
+
+    # The two proposals compose: together they beat either alone
+    # (paper: +40.7%).
+    assert gmean["ducati_icache_lds"] > gmean["icache_lds"]
+    assert gmean["ducati_icache_lds"] > gmean["ducati"]
+
+    # DUCATI never harms the Low apps either.
+    srad = result.row_for("app", "SRAD")
+    assert srad["ducati"] > 0.95

@@ -1,0 +1,20 @@
+"""Table 2: benchmark characterization — kernels, B2B, TLB HRs, PTW-PKI."""
+
+from repro.experiments import table2_characterization
+from benchmarks.conftest import run_once, save_table
+
+
+def test_table2_characterization(benchmark):
+    result = run_once(benchmark, table2_characterization.run)
+    save_table(result)
+
+    # Every app lands in its Table 2 PTW-PKI category.
+    for row in result.rows:
+        assert row["category"] == row["paper_category"], row
+
+    # Kernel-launch structure matches Table 2.
+    assert result.row_for("app", "GEV")["kernels"] == 1
+    assert result.row_for("app", "SRAD")["kernels"] == 1
+    assert result.row_for("app", "BFS")["kernels"] == 24
+    assert result.row_for("app", "NW")["b2b"] is True
+    assert sum(1 for row in result.rows if row["b2b"]) == 1

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's headline result for one application.
+
+Builds the ATAX workload (Table 2's biggest winner), runs it on the
+baseline Table 1 machine and on the reconfigurable I-cache + LDS design
+(Section 4.4), and prints the speedup, page-walk reduction, and where
+translations were serviced — the Figure 13b story in one page of code.
+
+Run:  python examples/quickstart.py [APP] [SCALE]
+"""
+
+import sys
+
+from repro import GPUSystem, TxScheme, make_app, table1_config
+
+
+def main() -> int:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "ATAX"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    print(f"Simulating {app_name} (scale={scale}) on the Table 1 baseline...")
+    baseline = GPUSystem(table1_config()).run(make_app(app_name, scale=scale))
+    print(
+        f"  baseline: {baseline.cycles:,} cycles, "
+        f"{baseline.page_walks:,.0f} page walks, "
+        f"PTW-PKI {baseline.ptw_pki:.2f}"
+    )
+
+    print("Adding the reconfigurable I-cache + LDS victim caches...")
+    config = table1_config(TxScheme.ICACHE_LDS)
+    reconfig = GPUSystem(config).run(make_app(app_name, scale=scale))
+    print(
+        f"  reconfig: {reconfig.cycles:,} cycles, "
+        f"{reconfig.page_walks:,.0f} page walks"
+    )
+
+    speedup = baseline.cycles / reconfig.cycles
+    walk_ratio = (
+        reconfig.page_walks / baseline.page_walks if baseline.page_walks else 1.0
+    )
+    print()
+    print(f"Speedup: {speedup:.2f}x   (paper Figure 13b: up to 5.4x for ATAX)")
+    print(f"Page walks: {100 * (1 - walk_ratio):.1f}% fewer")
+    print()
+    print("Translation requests serviced by:")
+    for structure in ("lds", "icache", "l2_tlb", "iommu"):
+        count = reconfig.counter(f"tx_serviced_by.{structure}")
+        if count:
+            print(f"  {structure:8s} {count:>10,.0f}")
+    gained = reconfig.counter("tx_entries.lds_peak") + reconfig.counter(
+        "tx_entries.icache_peak"
+    )
+    print(f"\nPeak extra translation entries gained: {gained:,.0f} (Figure 15)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

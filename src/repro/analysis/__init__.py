@@ -1,0 +1,16 @@
+"""Result analysis: comparison tables, ASCII charts, CSV export."""
+
+from repro.analysis.charts import bar_chart, series_chart
+from repro.analysis.summary import compare_schemes, counter_diff, speedup_summary
+from repro.analysis.tables import format_csv, format_markdown, format_plain
+
+__all__ = [
+    "bar_chart",
+    "compare_schemes",
+    "counter_diff",
+    "format_csv",
+    "format_markdown",
+    "format_plain",
+    "series_chart",
+    "speedup_summary",
+]

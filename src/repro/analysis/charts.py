@@ -1,0 +1,85 @@
+"""Dependency-free ASCII charts for terminal reports.
+
+The paper's figures are bar charts (per-app speedups) and series (TLB-size
+sweeps); these renderers make the reproduced figures legible directly in a
+terminal or a markdown code block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    baseline: Optional[float] = None,
+    value_format: str = ".3f",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart, one labelled bar per entry.
+
+    With ``baseline`` set, a marker column shows where the baseline value
+    falls (e.g. 1.0 for speedup charts).
+    """
+
+    if not values:
+        raise ValueError("nothing to chart")
+    label_width = max(len(label) for label in values)
+    peak = max(max(values.values()), baseline or 0.0)
+    if peak <= 0:
+        raise ValueError("bar charts need a positive maximum")
+    scale = width / peak
+
+    lines = [title] if title else []
+    marker = int(round(baseline * scale)) if baseline is not None else None
+    for label, value in values.items():
+        units = value * scale
+        filled = int(units)
+        bar = _BAR * filled + (_HALF if units - filled >= 0.5 else "")
+        if marker is not None and len(bar) < marker:
+            bar = bar.ljust(marker - 1) + "|"
+        lines.append(
+            f"{label.rjust(label_width)}  {bar.ljust(width)} {value:{value_format}}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    points: Sequence[Tuple[object, float]],
+    height: int = 10,
+    width_per_point: int = 6,
+    value_format: str = ".2f",
+    title: str = "",
+) -> str:
+    """A column chart for sweeps (x label -> value)."""
+
+    if not points:
+        raise ValueError("nothing to chart")
+    values = [value for _, value in points]
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("series charts need a positive maximum")
+
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        cells = []
+        for value in values:
+            cells.append((_BAR if value >= threshold else " ").center(width_per_point))
+        rows.append("".join(cells))
+    labels = "".join(str(label)[: width_per_point - 1].center(width_per_point)
+                     for label, _ in points)
+    numbers = "".join(
+        format(value, value_format)[: width_per_point - 1].center(width_per_point)
+        for value in values
+    )
+    lines = [title] if title else []
+    lines.extend(rows)
+    lines.append("-" * (width_per_point * len(points)))
+    lines.append(labels)
+    lines.append(numbers)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Row-oriented table rendering (markdown / plain text / CSV).
+
+All experiment harnesses produce lists of dict rows; these helpers render
+them for terminals, EXPERIMENTS.md, and spreadsheet export without pulling
+in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+
+def _columns(rows: Sequence[Dict], columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    ordered: List[str] = []
+    for row in rows:
+        for name in row:
+            if name not in ordered:
+                ordered.append(name)
+    return ordered
+
+
+def _cell(value, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    if value is None:
+        return ""
+    return str(value)
+
+
+def format_markdown(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".3f",
+) -> str:
+    """GitHub-flavoured markdown table."""
+
+    names = _columns(rows, columns)
+    lines = [
+        "| " + " | ".join(names) + " |",
+        "| " + " | ".join("---" for _ in names) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_cell(row.get(n), float_format) for n in names) + " |"
+        )
+    return "\n".join(lines)
+
+
+def format_plain(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".3f",
+) -> str:
+    """Aligned fixed-width text table for terminals."""
+
+    names = _columns(rows, columns)
+    rendered = [
+        [_cell(row.get(name), float_format) for name in names] for row in rows
+    ]
+    widths = [
+        max(len(name), *(len(line[i]) for line in rendered)) if rendered else len(name)
+        for i, name in enumerate(names)
+    ]
+    header = "  ".join(name.ljust(width) for name, width in zip(names, widths))
+    divider = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join([header, divider, *body])
+
+
+def format_csv(
+    rows: Sequence[Dict], columns: Optional[Sequence[str]] = None
+) -> str:
+    """RFC-4180 CSV (raw values, no float rounding)."""
+
+    names = _columns(rows, columns)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=names, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({name: row.get(name, "") for name in names})
+    return buffer.getvalue()

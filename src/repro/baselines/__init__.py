@@ -1,0 +1,6 @@
+"""Comparator schemes: DUCATI and the Perfect-L2-TLB upper bound."""
+
+from repro.baselines.ducati import DucatiStore
+from repro.baselines.perfect import perfect_l2_config
+
+__all__ = ["DucatiStore", "perfect_l2_config"]

@@ -1,0 +1,17 @@
+"""Perfect-L2-TLB upper bound (Section 3.1 motivation study).
+
+A configuration whose shared L2 TLB hits on every lookup: zero page walks,
+hence the best-case performance an infinitely large TLB could deliver.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig, table1_config
+
+
+def perfect_l2_config(base: SystemConfig = None) -> SystemConfig:
+    """Table 1 configuration with a perfect (always-hit) L2 TLB."""
+
+    if base is None:
+        base = table1_config()
+    return base.with_perfect_l2_tlb()

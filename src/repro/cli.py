@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list``     — available applications and translation schemes.
+- ``run``      — simulate one application on one configuration.
+- ``compare``  — run several schemes on one application, show speedups.
+- ``config``   — print (or save) a configuration as JSON.
+- ``report``   — regenerate EXPERIMENTS.md (all tables and figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.tables import format_plain
+from repro.config import SystemConfig, TxScheme, table1_config
+from repro.config_io import config_to_json, load_config
+from repro.system import GPUSystem
+from repro.workloads.registry import CATEGORIES, app_names, make_app
+
+_SUMMARY_COUNTERS = (
+    ("page walks", "iommu.walks"),
+    ("L1 TLB hits", "l1_tlb.hits"),
+    ("L1 TLB misses", "l1_tlb.misses"),
+    ("LDS Tx hits", "tx_serviced_by.lds"),
+    ("I-cache Tx hits", "tx_serviced_by.icache"),
+    ("L2 TLB hits", "tx_serviced_by.l2_tlb"),
+    ("DRAM reads", "dram.reads"),
+)
+
+
+def _build_config(args) -> SystemConfig:
+    if getattr(args, "config", None):
+        config = load_config(args.config)
+    else:
+        config = table1_config()
+    if getattr(args, "scheme", None):
+        config = config.with_scheme(TxScheme(args.scheme))
+    if getattr(args, "page_size", None):
+        config = config.with_page_size(args.page_size)
+    if getattr(args, "l2_tlb_entries", None):
+        config = config.with_l2_tlb_entries(args.l2_tlb_entries)
+    return config
+
+
+def _run_one(app_name: str, config: SystemConfig, scale: float):
+    app = make_app(app_name, scale=scale, page_size=config.page_size)
+    return GPUSystem(config).run(app)
+
+
+def cmd_list(args) -> int:
+    print("Applications (Table 2):")
+    for name in app_names():
+        print(f"  {name:6s} category {CATEGORIES[name]}")
+    print("\nSchemes:")
+    for scheme in TxScheme:
+        print(f"  {scheme.value}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _build_config(args)
+    result = _run_one(args.app, config, args.scale)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "app": result.app_name,
+                    "scheme": result.scheme,
+                    "cycles": result.cycles,
+                    "ptw_pki": result.ptw_pki,
+                    "counters": result.counters,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"{result.app_name} on scheme '{result.scheme}' (scale {args.scale}):")
+    print(f"  cycles        {result.cycles:>14,}")
+    print(f"  instructions  {result.instructions:>14,.0f}")
+    print(f"  PTW-PKI       {result.ptw_pki:>14.2f}")
+    print(f"  L1 TLB HR     {100 * result.hit_ratio('l1_tlb'):>13.1f}%")
+    print()
+    rows = [
+        {"counter": label, "value": int(result.counter(name))}
+        for label, name in _SUMMARY_COUNTERS
+        if result.counter(name)
+    ]
+    print(format_plain(rows))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    schemes = [TxScheme(value) for value in args.schemes]
+    baseline_cfg = _build_config(args)
+    baseline = _run_one(args.app, baseline_cfg, args.scale)
+    print(
+        f"{args.app}: baseline {baseline.cycles:,} cycles "
+        f"(PTW-PKI {baseline.ptw_pki:.2f})\n"
+    )
+    speedups = {}
+    rows = []
+    for scheme in schemes:
+        result = _run_one(args.app, baseline_cfg.with_scheme(scheme), args.scale)
+        speedup = baseline.cycles / result.cycles
+        speedups[scheme.value] = speedup
+        walk_ratio = (
+            result.page_walks / baseline.page_walks if baseline.page_walks else 1.0
+        )
+        rows.append(
+            {
+                "scheme": scheme.value,
+                "speedup": speedup,
+                "walks_vs_baseline": walk_ratio,
+                "cycles": result.cycles,
+            }
+        )
+    print(format_plain(rows))
+    print()
+    print(bar_chart(speedups, baseline=1.0, title="speedup vs baseline"))
+    return 0
+
+
+def cmd_config(args) -> int:
+    config = _build_config(args)
+    text = config_to_json(config)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import main as report_main
+
+    return report_main([args.output])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Increasing GPU Translation Reach by Leveraging "
+            "Under-Utilized On-Chip Resources' (MICRO 2021)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and schemes").set_defaults(
+        func=cmd_list
+    )
+
+    def add_common(p):
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor (default 1.0)")
+        p.add_argument("--scheme", choices=[s.value for s in TxScheme],
+                       help="translation scheme")
+        p.add_argument("--page-size", type=int, dest="page_size",
+                       help="page size in bytes (4096/65536/2097152)")
+        p.add_argument("--l2-tlb-entries", type=int, dest="l2_tlb_entries",
+                       help="override the shared L2 TLB size")
+        p.add_argument("--config", help="JSON configuration file to start from")
+
+    run_parser = sub.add_parser("run", help="simulate one application")
+    run_parser.add_argument("app", choices=app_names())
+    add_common(run_parser)
+    run_parser.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="compare schemes on one application"
+    )
+    compare_parser.add_argument("app", choices=app_names())
+    add_common(compare_parser)
+    compare_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["lds", "icache", "icache+lds"],
+        choices=[s.value for s in TxScheme],
+    )
+    compare_parser.set_defaults(func=cmd_compare)
+
+    config_parser = sub.add_parser("config", help="print a configuration as JSON")
+    add_common(config_parser)
+    config_parser.add_argument("--output", help="write to a file instead")
+    config_parser.set_defaults(func=cmd_config)
+
+    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+    report_parser.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

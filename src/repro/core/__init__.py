@@ -1,0 +1,22 @@
+"""The paper's primary contribution: reconfigurable Tx victim caches.
+
+- :mod:`repro.core.compression` — base-delta tag compression (Figs 7, 10).
+- :mod:`repro.core.reconfig_lds` — LDS as a Tx victim cache (Section 4.2).
+- :mod:`repro.core.reconfig_icache` — I-cache as a Tx victim cache (4.3).
+- :mod:`repro.core.fill_flow` — the Figure 12 victim fill flows.
+- :mod:`repro.core.translation` — per-CU translation lookup path (4.4).
+"""
+
+from repro.core.compression import BaseDeltaCodec
+from repro.core.fill_flow import VictimFillFlow
+from repro.core.reconfig_icache import ReconfigurableICache
+from repro.core.reconfig_lds import LDSTxCache
+from repro.core.translation import TranslationService
+
+__all__ = [
+    "BaseDeltaCodec",
+    "LDSTxCache",
+    "ReconfigurableICache",
+    "TranslationService",
+    "VictimFillFlow",
+]

@@ -1,0 +1,234 @@
+"""Reconfigurable I-cache: Tx victim cache in idle I-cache lines (§4.3).
+
+Design points reproduced from the paper:
+
+- *Packing*: either one translation per line (Figure 8b, the naive design
+  whose reach is too small to matter) or eight per 64-byte line (Figure 8c),
+  selected by ``ICacheTxConfig.tx_per_line``.
+- *Direct-mapped translation indexing* (Figure 9): a translation may live in
+  exactly one line (``vpn % num_lines``), reusing the existing per-way
+  comparators; the sub-entries within a line are compared serially, which
+  costs 16 extra cycles on top of the Tx tag access (Table 1).
+- *Replacement* (Section 4.3.2): the NAIVE policy lets translation fills
+  claim the direct-mapped line even when it holds instructions; the
+  INSTRUCTION_AWARE policy only lets translations claim invalid lines or
+  lines already in Tx-mode, while instruction fills prefer Tx-mode victims
+  over LRU instruction lines.
+- *Kernel-boundary flush* (Section 4.3.3): when enabled, the runtime flushes
+  IC-mode lines at a kernel boundary unless the same kernel runs
+  back-to-back, freeing dead instruction lines for translations.
+- *Widened, base-delta-compressed tags* (Figure 10c): eight 39-bit tags fit
+  the widened 12-byte tag via a 32-bit base and 8-bit deltas; fills that
+  cannot pack evict incompatible residents first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.config import ICacheConfig, ICacheReplacement, ICacheTxConfig
+from repro.core.compression import BaseDeltaCodec
+from repro.gpu.icache import CacheLine, InstructionCache
+from repro.sim.stats import Stats
+from repro.tlb.base import TranslationEntry
+
+
+class ReconfigurableICache(InstructionCache):
+    """I-cache that opportunistically stores L1-TLB victim translations."""
+
+    def __init__(
+        self,
+        config: ICacheConfig,
+        tx_config: ICacheTxConfig,
+        stats: Optional[Stats] = None,
+        name: str = "icache",
+        track_idle: bool = True,
+    ) -> None:
+        super().__init__(config, stats=stats, name=name, track_idle=track_idle)
+        self.tx_config = tx_config
+        self._index_bits = max(1, (self.num_lines - 1).bit_length())
+        self.codec = BaseDeltaCodec(tx_config.tag_base_bits, tx_config.tag_delta_bits)
+        self._tx_entry_count = 0
+        self.peak_tx_entries = 0
+        self._current_kernel: Optional[str] = None
+        # Where translations displaced by an instruction fill are forwarded
+        # (the L2 TLB in the full system); None drops them silently.
+        self.spill_target = None
+        # Tx traffic is arbitrated at lower priority than instruction
+        # fetches: the motivation data (Figure 5b) shows the fetch port is
+        # idle 10-20+ cycles between accesses, so translation accesses slot
+        # into idle cycles and never delay fetches. Tx accesses queue only
+        # behind other Tx accesses, modelled by a separate port.
+        from repro.sim.engine import Port as _Port
+
+        self.tx_port = _Port(f"{name}.tx_port", units=1, occupancy=1)
+
+    # ------------------------------------------------------------------
+    # Direct-mapped translation indexing (Figure 9)
+    # ------------------------------------------------------------------
+
+    def _line_for(self, vpn: int) -> CacheLine:
+        line_index = vpn % self.num_lines
+        return self._sets[line_index % self.num_sets][line_index // self.num_sets]
+
+    # ------------------------------------------------------------------
+    # Victim-cache interface
+    # ------------------------------------------------------------------
+
+    def tx_lookup(self, key: tuple, anchor: int) -> Tuple[Optional[TranslationEntry], int]:
+        """Probe for ``key``; a hit removes the entry (promotion to L1).
+
+        Returns ``(entry_or_None, stage_latency)`` with port queuing delay
+        folded into the latency.
+        """
+
+        start = self.tx_port.request(anchor)
+        queue = start - anchor
+        cache_line = self._line_for(key[2])
+        if not cache_line.is_tx or not cache_line.tx_entries:
+            # The target way's mode bit says IC-mode/invalid: cheap miss.
+            self.stats.add(f"{self.name}.tx_misses")
+            return None, queue + self.tx_config.tx_probe_latency
+        entry = cache_line.tx_entries.get(key)
+        if entry is None:
+            # Tx-mode way but no tag match: pays the serial tag compare.
+            self.stats.add(f"{self.name}.tx_misses")
+            tag_miss = (
+                self.tx_config.tx_tag_latency
+                + self.tx_config.tx_serial_compare_latency
+                + self.tx_config.mux_latency
+                + self.tx_config.extra_wire_latency
+            )
+            return None, queue + tag_miss
+        del cache_line.tx_entries[key]
+        self._tx_entry_count -= 1
+        if not cache_line.tx_entries:
+            cache_line.make_invalid()
+        self.stats.add(f"{self.name}.tx_hits")
+        return entry, queue + self.tx_config.tx_hit_latency
+
+    def tx_fill(self, entry: TranslationEntry, now: int
+                ) -> Tuple[bool, Optional[TranslationEntry]]:
+        """Install a victim translation; returns (accepted, displaced)."""
+
+        cache_line = self._line_for(entry.vpn)
+        if cache_line.valid and not cache_line.is_tx:
+            if self.tx_config.replacement is ICacheReplacement.INSTRUCTION_AWARE:
+                # Translations may never evict instructions.
+                self.stats.add(f"{self.name}.tx_bypass_ic_mode")
+                return False, None
+            # Naive policy: claim the instruction line for translations.
+            cache_line.make_invalid()
+            self.stats.add(f"{self.name}.instructions_evicted_by_tx")
+        # Fills are buffered and drained during idle port cycles; the L1
+        # victim write-back is off every wave's critical path, so fills
+        # charge no port occupancy and add no latency.
+        if not cache_line.is_tx:
+            cache_line.valid = True
+            cache_line.is_tx = True
+            cache_line.tx_entries = OrderedDict()
+        tx_entries = cache_line.tx_entries
+        assert tx_entries is not None
+        if entry.key in tx_entries:
+            tx_entries[entry.key] = entry
+            tx_entries.move_to_end(entry.key)
+            self.stats.add(f"{self.name}.tx_refills")
+            return True, None
+
+        victim = None
+        new_tag = entry.tag_bits(self._index_bits)
+        resident_tags = {
+            key: resident.tag_bits(self._index_bits)
+            for key, resident in tx_entries.items()
+        }
+        packable = set(self.codec.packable_subset(list(resident_tags.values()), new_tag))
+        incompatible = [key for key, tag in resident_tags.items() if tag not in packable]
+        if incompatible:
+            for key in tx_entries:
+                if key in incompatible:
+                    victim = tx_entries.pop(key)
+                    break
+            self._tx_entry_count -= 1
+            self.stats.add(f"{self.name}.tx_compression_evictions")
+        if victim is None and len(tx_entries) >= self.tx_config.tx_per_line:
+            _, victim = tx_entries.popitem(last=False)
+            self._tx_entry_count -= 1
+            self.stats.add(f"{self.name}.tx_evictions")
+
+        tx_entries[entry.key] = entry
+        self._tx_entry_count += 1
+        if self._tx_entry_count > self.peak_tx_entries:
+            self.peak_tx_entries = self._tx_entry_count
+        self.stats.add(f"{self.name}.tx_fills")
+        return True, victim
+
+    # ------------------------------------------------------------------
+    # Instruction-side policy overrides
+    # ------------------------------------------------------------------
+
+    def _choose_instruction_victim(self, cache_set: List[CacheLine]) -> CacheLine:
+        """Instruction fills prefer invalid lines, then Tx-mode LRU lines.
+
+        Under the NAIVE policy this matches the baseline (mode-oblivious
+        LRU); under INSTRUCTION_AWARE it implements the Section 4.3.2 rules.
+        """
+
+        for cache_line in cache_set:
+            if not cache_line.valid:
+                return cache_line
+        if self.tx_config.replacement is ICacheReplacement.INSTRUCTION_AWARE:
+            tx_lines = [line for line in cache_set if line.is_tx]
+            if tx_lines:
+                return min(tx_lines, key=lambda line: line.lru)
+        return min(cache_set, key=lambda line: line.lru)
+
+    def _on_instruction_claim(self, cache_line: CacheLine) -> None:
+        """An instruction fill reclaims a whole Tx line (Section 4.3.2).
+
+        The displaced translations are counted and forwarded to the L2 TLB
+        (flow 8 of Figure 12) rather than silently invalidated.
+        """
+
+        if not cache_line.is_tx or not cache_line.tx_entries:
+            return
+        count = len(cache_line.tx_entries)
+        self._tx_entry_count -= count
+        self.stats.add(f"{self.name}.tx_dropped_by_ifill", count)
+        if self.spill_target is not None:
+            for entry in cache_line.tx_entries.values():
+                self.spill_target.insert(entry)
+            self.stats.add(f"{self.name}.tx_spilled_by_ifill", count)
+
+    # ------------------------------------------------------------------
+    # Kernel-boundary flush optimization (Section 4.3.3)
+    # ------------------------------------------------------------------
+
+    def on_kernel_boundary(self, next_kernel_same: bool) -> None:
+        if not self.tx_config.flush_on_kernel_boundary:
+            return
+        if next_kernel_same:
+            # The runtime suppresses the flush for back-to-back launches of
+            # the same kernel (e.g. NW's nw_kernel1).
+            self.stats.add(f"{self.name}.flush_suppressed")
+            return
+        self.flush_instructions()
+
+    def tx_entry_count(self) -> int:
+        return self._tx_entry_count
+
+    def invalidate_vpn(self, vpn: int) -> int:
+        """Shootdown support (Section 7.1)."""
+
+        cache_line = self._line_for(vpn)
+        if not cache_line.is_tx or not cache_line.tx_entries:
+            return 0
+        doomed = [key for key in cache_line.tx_entries if key[2] == vpn]
+        for key in doomed:
+            del cache_line.tx_entries[key]
+        self._tx_entry_count -= len(doomed)
+        if not cache_line.tx_entries:
+            cache_line.make_invalid()
+        if doomed:
+            self.stats.add(f"{self.name}.tx_invalidations", len(doomed))
+        return len(doomed)

@@ -1,0 +1,16 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale=None) -> ExperimentResult`` producing the
+rows the paper's corresponding table or figure reports, alongside the
+paper's own values where the paper states them. ``repro.experiments.report``
+renders all results into EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    clear_cache,
+    run_app,
+)
+
+__all__ = ["DEFAULT_SCALE", "ExperimentResult", "clear_cache", "run_app"]

@@ -1,0 +1,205 @@
+"""Shared experiment infrastructure.
+
+- A process-wide (and optional on-disk) result cache: many figures share
+  the same baseline runs, and pytest-benchmark repeats harness calls.
+- ``run_app``: build a fresh system + app for a configuration and simulate.
+- ``ExperimentResult``: rows + formatting shared by all figure harnesses.
+
+Scale: experiments honour the ``REPRO_SCALE`` environment variable
+(default 1.0). Scaling shrinks per-wave work, keeping every mechanism
+exercised while making CI-sized runs fast; the paper itself scaled its gem5
+configuration down for the same reason (Section 5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig, TxScheme, table1_config
+from repro.sim.results import SimResult, geomean
+from repro.system import GPUSystem
+from repro.workloads.registry import make_app
+
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+_CACHE: Dict[str, SimResult] = {}
+
+_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", "")
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def _config_signature(config: SystemConfig) -> str:
+    # Hash the explicit serialized form, not repr(): the signature then
+    # only changes when a setting's *value* changes, not when unrelated
+    # fields are added to the dataclasses.
+    from repro.config_io import config_to_json
+
+    return hashlib.sha256(config_to_json(config).encode()).hexdigest()[:16]
+
+
+def _cache_key(app_name: str, config: SystemConfig, scale: float) -> str:
+    return f"{app_name}|{scale}|{_config_signature(config)}"
+
+
+def _disk_path(key: str) -> Optional[str]:
+    if not _CACHE_DIR:
+        return None
+    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+    return os.path.join(_CACHE_DIR, f"{digest}.json")
+
+
+def _load_disk(key: str) -> Optional[SimResult]:
+    path = _disk_path(key)
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    from repro.sim.results import KernelResult
+    from repro.sim.stats import BoxStats
+
+    kernels = [KernelResult(**kernel) for kernel in payload.get("kernels", [])]
+    distributions = {
+        name: (BoxStats(**stats) if stats else None)
+        for name, stats in payload.get("distributions", {}).items()
+    }
+    return SimResult(
+        app_name=payload["app_name"],
+        scheme=payload["scheme"],
+        cycles=payload["cycles"],
+        counters=payload["counters"],
+        kernels=kernels,
+        distributions=distributions,
+    )
+
+
+def _store_disk(key: str, result: SimResult) -> None:
+    path = _disk_path(key)
+    if path is None:
+        return
+    os.makedirs(_CACHE_DIR, exist_ok=True)
+    payload = {
+        "app_name": result.app_name,
+        "scheme": result.scheme,
+        "cycles": result.cycles,
+        "counters": result.counters,
+        "kernels": [
+            {
+                "kernel_name": kernel.kernel_name,
+                "invocation": kernel.invocation,
+                "start_cycle": kernel.start_cycle,
+                "end_cycle": kernel.end_cycle,
+                "counters": kernel.counters,
+            }
+            for kernel in result.kernels
+        ],
+        "distributions": {
+            name: (stats.__dict__ if stats is not None else None)
+            for name, stats in result.distributions.items()
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def run_app(
+    app_name: str,
+    config: Optional[SystemConfig] = None,
+    scale: Optional[float] = None,
+    use_cache: bool = True,
+) -> SimResult:
+    """Simulate ``app_name`` under ``config`` (Table 1 baseline by default)."""
+
+    if config is None:
+        config = table1_config()
+    if scale is None:
+        scale = DEFAULT_SCALE
+    key = _cache_key(app_name, config, scale)
+    if use_cache:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+        cached = _load_disk(key)
+        if cached is not None:
+            _CACHE[key] = cached
+            return cached
+    app = make_app(app_name, scale=scale, page_size=config.page_size)
+    result = GPUSystem(config).run(app)
+    if use_cache:
+        _CACHE[key] = result
+        _store_disk(key, result)
+    return result
+
+
+def scheme_config(scheme: TxScheme) -> SystemConfig:
+    return table1_config(scheme)
+
+
+def speedup_over_baseline(
+    app_name: str, config: SystemConfig, scale: Optional[float] = None
+) -> float:
+    baseline = run_app(app_name, table1_config(), scale)
+    candidate = run_app(app_name, config, scale)
+    return baseline.cycles / candidate.cycles
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure, plus paper reference points."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict] = field(default_factory=list)
+    paper_notes: str = ""
+
+    @property
+    def columns(self) -> List[str]:
+        columns: List[str] = []
+        for row in self.rows:
+            for name in row:
+                if name not in columns:
+                    columns.append(name)
+        return columns
+
+    def column(self, name: str) -> List:
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, value) -> Dict:
+        for row in self.rows:
+            if row.get(key_column) == value:
+                return row
+        raise KeyError(f"no row with {key_column}={value!r}")
+
+    def format_table(self) -> str:
+        columns = self.columns
+        header = " | ".join(columns)
+        divider = " | ".join("---" for _ in columns)
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append(f"| {header} |")
+        lines.append(f"| {divider} |")
+        for row in self.rows:
+            cells = []
+            for name in columns:
+                value = row.get(name, "")
+                if isinstance(value, float):
+                    cells.append(f"{value:.3f}")
+                else:
+                    cells.append(str(value))
+            lines.append("| " + " | ".join(cells) + " |")
+        if self.paper_notes:
+            lines.append("")
+            lines.append(self.paper_notes)
+        return "\n".join(lines)
+
+
+def gmean_speedup(speedups: Sequence[float]) -> float:
+    return geomean(speedups)

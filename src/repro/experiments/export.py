@@ -1,0 +1,74 @@
+"""Export experiment results to CSV / markdown files.
+
+EXPERIMENTS.md is the human-readable record; this module produces the
+machine-readable companion (one CSV per experiment) for plotting the
+figures in a spreadsheet or notebook.
+
+Usage::
+
+    python -m repro.experiments.export [output_dir]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_csv, format_markdown
+from repro.experiments.common import ExperimentResult
+
+
+def slugify(experiment_id: str) -> str:
+    slug = experiment_id.lower()
+    slug = re.sub(r"[^a-z0-9]+", "_", slug)
+    return slug.strip("_")
+
+
+def export_result(
+    result: ExperimentResult, output_dir: str, formats: tuple = ("csv", "md")
+) -> List[str]:
+    """Write one experiment's rows; returns the paths written."""
+
+    os.makedirs(output_dir, exist_ok=True)
+    base = os.path.join(output_dir, slugify(result.experiment_id))
+    written = []
+    if "csv" in formats:
+        path = f"{base}.csv"
+        with open(path, "w") as handle:
+            handle.write(format_csv(result.rows))
+        written.append(path)
+    if "md" in formats:
+        path = f"{base}.md"
+        with open(path, "w") as handle:
+            handle.write(f"# {result.experiment_id}: {result.title}\n\n")
+            handle.write(format_markdown(result.rows) + "\n")
+            if result.paper_notes:
+                handle.write(f"\n{result.paper_notes}\n")
+        written.append(path)
+    return written
+
+
+def export_all(output_dir: str, scale: Optional[float] = None) -> List[str]:
+    """Run every registered experiment and export it."""
+
+    from repro.experiments.report import ALL_EXPERIMENTS
+
+    written = []
+    for _, runner in ALL_EXPERIMENTS:
+        result = runner(scale)
+        written.extend(export_result(result, output_dir))
+    return written
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    output_dir = argv[0] if argv else "experiment_data"
+    written = export_all(output_dir)
+    print(f"wrote {len(written)} files to {output_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

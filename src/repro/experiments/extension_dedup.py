@@ -1,0 +1,65 @@
+"""Extension study: limiting cross-CU translation duplication.
+
+Section 6.1.1 observes that translations shared across CUs are replicated
+in every CU's private LDS, limiting the cumulative capacity the design
+gains, and explicitly leaves "optimizations to limit the translation
+duplication for future investigations". This experiment implements and
+evaluates one such optimization: a *shared-fill filter* that steers victims
+for pages already touched by 2+ CUs past the private LDS into the shared
+(deduplicating) I-cache, keeping the LDS for CU-local reuse.
+
+Enabled by ``SystemConfig.dedup_shared_fills``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.config import TxScheme, table1_config
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    gmean_speedup,
+    run_app,
+)
+from repro.workloads.registry import app_names
+
+
+def run(
+    scale: Optional[float] = None, apps: Optional[List[str]] = None
+) -> ExperimentResult:
+    if scale is None:
+        scale = DEFAULT_SCALE
+    if apps is None:
+        apps = app_names()
+    result = ExperimentResult(
+        experiment_id="Extension: dedup filter",
+        title="Shared-fill filter vs baseline IC+LDS (paper future work)",
+        paper_notes=(
+            "Not a paper experiment: implements Section 6.1.1's suggested "
+            "future work. Shared-heavy apps should benefit; CU-partitioned "
+            "apps (GEV) should be unaffected."
+        ),
+    )
+    combined = table1_config(TxScheme.ICACHE_LDS)
+    filtered = replace(combined, dedup_shared_fills=True)
+    speedups = {"icache_lds": [], "icache_lds_dedup": []}
+    for app in apps:
+        baseline = run_app(app, table1_config(), scale)
+        plain = run_app(app, combined, scale)
+        dedup = run_app(app, filtered, scale)
+        row = {
+            "app": app,
+            "icache_lds": baseline.cycles / plain.cycles,
+            "icache_lds_dedup": baseline.cycles / dedup.cycles,
+            "lds_fills_skipped": int(dedup.counter("fill_flow.lds_skipped_shared")),
+        }
+        speedups["icache_lds"].append(row["icache_lds"])
+        speedups["icache_lds_dedup"].append(row["icache_lds_dedup"])
+        result.rows.append(row)
+    result.rows.append(
+        {"app": "GMEAN"}
+        | {label: gmean_speedup(values) for label, values in speedups.items()}
+    )
+    return result

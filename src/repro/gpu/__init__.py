@@ -1,0 +1,19 @@
+"""GPU substrate: CUs, SIMDs, wavefronts, dispatcher, LDS, I-cache."""
+
+from repro.gpu.dispatcher import WorkGroupDispatcher
+from repro.gpu.icache import InstructionCache
+from repro.gpu.instructions import alu, lds_op, line, mem
+from repro.gpu.lds import LocalDataShare, SegmentMode
+from repro.gpu.wavefront import Wavefront
+
+__all__ = [
+    "InstructionCache",
+    "LocalDataShare",
+    "SegmentMode",
+    "Wavefront",
+    "WorkGroupDispatcher",
+    "alu",
+    "lds_op",
+    "line",
+    "mem",
+]

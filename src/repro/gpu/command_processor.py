@@ -1,0 +1,137 @@
+"""GPU command processor and PM4-style packets (paper Section 7.1).
+
+The driver talks to the GPU by enqueuing command packets into a command
+queue; the GPU's packet processor parses them and acts. The paper uses this
+existing machinery for two things we model:
+
+- **TLB shootdowns**: on a page swap, migration, or permission change the
+  driver enqueues a shootdown packet; the packet processor notifies the
+  TLBs *and the reconfigurable LDS/I-cache controllers* to invalidate the
+  VPN (Section 7.1).
+- **I-cache flush commands** at kernel boundaries (Section 4.3.3): the
+  runtime inserts a flush packet when two *different* kernels are enqueued
+  back-to-back. (`GPUSystem.run` drives the flush directly; the packet
+  type exists here so driver-level traces can be replayed through one
+  mechanism.)
+
+Timing: the processor drains packets serially; each packet costs a decode
+overhead plus a per-structure invalidation broadcast.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.sim.stats import Stats
+
+#: Cycles to parse one packet (packet-processor firmware).
+PACKET_DECODE_CYCLES = 32
+
+#: Cycles to broadcast one invalidation to all translation structures.
+INVALIDATE_BROADCAST_CYCLES = 16
+
+#: Cycles to broadcast an I-cache flush command.
+FLUSH_BROADCAST_CYCLES = 24
+
+
+class PacketType(enum.Enum):
+    TLB_SHOOTDOWN = "tlb-shootdown"
+    ICACHE_FLUSH = "icache-flush"
+
+
+@dataclass(frozen=True)
+class CommandPacket:
+    """One PM4-style packet in the command queue."""
+
+    packet_type: PacketType
+    #: Shootdowns: the virtual page numbers to invalidate.
+    vpns: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.packet_type is PacketType.TLB_SHOOTDOWN and not self.vpns:
+            raise ValueError("shootdown packet carries no pages")
+
+
+@dataclass
+class PacketResult:
+    """Outcome of processing one packet."""
+
+    packet: CommandPacket
+    completed_at: int
+    entries_invalidated: int = 0
+    lines_flushed: int = 0
+
+
+class CommandProcessor:
+    """Serial packet processor in front of the translation structures.
+
+    ``invalidate_fn(vpn) -> int`` performs a system-wide invalidation of
+    one page and returns the number of entries dropped; ``flush_fn() ->
+    int`` flushes instruction lines and returns how many. Both are wired
+    up by :class:`~repro.system.GPUSystem`.
+    """
+
+    def __init__(
+        self,
+        invalidate_fn: Callable[[int], int],
+        flush_fn: Callable[[], int],
+        stats: Optional[Stats] = None,
+        name: str = "cp",
+    ) -> None:
+        self._invalidate_fn = invalidate_fn
+        self._flush_fn = flush_fn
+        self.stats = stats if stats is not None else Stats()
+        self.name = name
+        self._queue: Deque[CommandPacket] = deque()
+        self._busy_until = 0
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, packet: CommandPacket) -> None:
+        self._queue.append(packet)
+        self.stats.add(f"{self.name}.packets_enqueued")
+
+    def enqueue_shootdown(self, vpns) -> None:
+        self.enqueue(CommandPacket(PacketType.TLB_SHOOTDOWN, tuple(vpns)))
+
+    def enqueue_icache_flush(self) -> None:
+        self.enqueue(CommandPacket(PacketType.ICACHE_FLUSH))
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+
+    def drain(self, now: int = 0) -> List[PacketResult]:
+        """Process every queued packet; returns their results in order."""
+
+        results = []
+        while self._queue:
+            results.append(self._process_one(max(now, self._busy_until)))
+        return results
+
+    def _process_one(self, start: int) -> PacketResult:
+        packet = self._queue.popleft()
+        when = start + PACKET_DECODE_CYCLES
+        self.stats.add(f"{self.name}.packets_processed")
+
+        if packet.packet_type is PacketType.TLB_SHOOTDOWN:
+            invalidated = 0
+            for vpn in packet.vpns:
+                invalidated += self._invalidate_fn(vpn)
+                when += INVALIDATE_BROADCAST_CYCLES
+            self.stats.add(f"{self.name}.shootdown_pages", len(packet.vpns))
+            self.stats.add(f"{self.name}.entries_invalidated", invalidated)
+            self._busy_until = when
+            return PacketResult(packet, when, entries_invalidated=invalidated)
+
+        # I-cache flush.
+        flushed = self._flush_fn()
+        when += FLUSH_BROADCAST_CYCLES
+        self.stats.add(f"{self.name}.flush_commands")
+        self._busy_until = when
+        return PacketResult(packet, when, lines_flushed=flushed)

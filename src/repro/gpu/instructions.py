@@ -1,0 +1,77 @@
+"""Wave program operations.
+
+A wave program is an iterable of small tuples, one per *macro-op*. A macro-op
+groups a strip of consecutive dynamic instructions of the same kind so the
+engine processes one event per strip instead of one per instruction; the
+translation stream (unique pages touched) is preserved exactly, which is what
+the paper's results depend on.
+
+Op formats (plain tuples, dispatched on the first element):
+
+- ``("alu", count)`` — ``count`` back-to-back ALU instructions.
+- ``("lds", count)`` — ``count`` LDS (application scratchpad) instructions.
+- ``("line", line_id)`` — the PC crosses into I-cache line ``line_id`` of the
+  kernel's static code; triggers an instruction-buffer check and possibly an
+  I-cache fetch.
+- ``("mem", vpns, instr_count, is_write, lines_per_page)`` — a strip of
+  ``instr_count`` global-memory instructions that together touch the unique
+  pages ``vpns`` (a tuple of page numbers), moving ``lines_per_page`` cache
+  lines per page (1 for scattered accesses, a whole page for streaming).
+  The wave stalls until the slowest page's translation + data access
+  resolves (SIMT lockstep).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+ALU = "alu"
+LDS = "lds"
+LINE = "line"
+MEM = "mem"
+
+
+def alu(count: int) -> tuple:
+    if count < 1:
+        raise ValueError("alu op needs a positive instruction count")
+    return (ALU, count)
+
+
+def lds_op(count: int) -> tuple:
+    if count < 1:
+        raise ValueError("lds op needs a positive instruction count")
+    return (LDS, count)
+
+
+def line(line_id: int) -> tuple:
+    return (LINE, line_id)
+
+
+def mem(
+    vpns: Sequence[int],
+    instr_count: int = 0,
+    is_write: bool = False,
+    lines_per_page: int = 1,
+) -> tuple:
+    vpns = tuple(vpns)
+    if not vpns:
+        raise ValueError("mem op touches no pages")
+    if instr_count <= 0:
+        instr_count = len(vpns)
+    if lines_per_page < 1:
+        raise ValueError("lines_per_page must be at least 1")
+    return (MEM, vpns, instr_count, is_write, lines_per_page)
+
+
+def count_instructions(program: Iterable[tuple]) -> int:
+    """Total dynamic instructions represented by a program (test helper)."""
+
+    total = 0
+    for op in program:
+        kind = op[0]
+        if kind in (ALU, LDS):
+            total += op[1]
+        elif kind == MEM:
+            total += op[2]
+        # "line" ops are PC bookkeeping, not instructions.
+    return total

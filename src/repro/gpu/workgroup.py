@@ -1,0 +1,45 @@
+"""Work-group state: a bundle of wavefronts sharing one LDS allocation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class WorkGroup:
+    """One dispatched work-group on one CU."""
+
+    __slots__ = (
+        "kernel_name",
+        "kernel_code_base",
+        "wg_id",
+        "cu",
+        "dispatcher",
+        "lds_alloc_id",
+        "waves_outstanding",
+    )
+
+    def __init__(
+        self,
+        kernel_name: str,
+        kernel_code_base: int,
+        wg_id: int,
+        cu,
+        dispatcher,
+        lds_alloc_id: Optional[int],
+        num_waves: int,
+    ) -> None:
+        self.kernel_name = kernel_name
+        self.kernel_code_base = kernel_code_base
+        self.wg_id = wg_id
+        self.cu = cu
+        self.dispatcher = dispatcher
+        self.lds_alloc_id = lds_alloc_id
+        self.waves_outstanding = num_waves
+
+    def wave_done(self, wave, now: int) -> None:
+        self.cu.release_wave_slot(wave.simd_index)
+        self.waves_outstanding -= 1
+        if self.waves_outstanding == 0:
+            if self.lds_alloc_id is not None:
+                self.cu.lds.free(self.lds_alloc_id)
+            self.dispatcher.workgroup_completed(self.cu, now)

@@ -1,0 +1,8 @@
+"""Memory substrate: data caches, DRAM timing, DRAM energy model."""
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import DRAM
+from repro.memory.energy import DRAMEnergyModel
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["DRAM", "DRAMEnergyModel", "MemoryHierarchy", "SetAssociativeCache"]

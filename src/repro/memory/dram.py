@@ -1,0 +1,57 @@
+"""DRAM timing model with banks and an open-row buffer.
+
+Addresses map to banks by line interleaving; each bank keeps a busy-until
+time (queuing) and its open row (activate counting for the energy model).
+The granularity is deliberately coarse — the paper's results depend on how
+many DRAM accesses occur (page walks vs data), not on DDR protocol detail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.config import DRAMConfig
+from repro.sim.stats import Stats
+
+_ROW_SHIFT = 14  # 16KB rows
+_LINE_SHIFT = 6  # 64B interleave granule
+
+
+class DRAM:
+    """Banked DRAM with per-bank occupancy and row-buffer tracking."""
+
+    def __init__(self, config: DRAMConfig, stats: Optional[Stats] = None,
+                 name: str = "dram") -> None:
+        self.config = config
+        self.name = name
+        self.stats = stats if stats is not None else Stats()
+        banks = config.total_banks
+        self._busy_until = [0] * banks
+        self._open_row = [-1] * banks
+        self._num_banks = banks
+
+    def access(self, addr: int, now: int, is_write: bool = False) -> Tuple[int, int]:
+        """Issue one DRAM access; returns (start_time, completion_time)."""
+
+        # XOR-fold higher address bits into the bank index so page-aligned
+        # strides (pfn*page_size keeps the low line bits constant) spread
+        # across banks instead of hammering one.
+        bank = (
+            (addr >> _LINE_SHIFT) ^ (addr >> 12) ^ (addr >> 18)
+        ) % self._num_banks
+        row = addr >> _ROW_SHIFT
+        start = now if now > self._busy_until[bank] else self._busy_until[bank]
+        latency = self.config.access_latency
+        if self._open_row[bank] != row:
+            self._open_row[bank] = row
+            self.stats.add(f"{self.name}.activates")
+            latency += self.config.bank_occupancy  # precharge + activate
+        self._busy_until[bank] = start + self.config.bank_occupancy
+        self.stats.add(f"{self.name}.writes" if is_write else f"{self.name}.reads")
+        if start > now:
+            self.stats.add(f"{self.name}.queue_cycles", start - now)
+        return start, start + latency
+
+    @property
+    def total_accesses(self) -> float:
+        return self.stats.get(f"{self.name}.reads") + self.stats.get(f"{self.name}.writes")

@@ -1,0 +1,55 @@
+"""DRAMPower-style energy estimation (Figure 13c substrate).
+
+The paper fed simulator command traces to the DRAMPower tool; here the same
+accounting is done directly from the DRAM model's event counters: per-event
+energies for reads, writes and activates, plus background and refresh power
+integrated over the simulated cycle count. Figure 13c reports *normalized*
+energy, so only the relative weights matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAMEnergyConfig
+from repro.sim.stats import Stats
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """DRAM energy in nanojoules, split by source."""
+
+    read_nj: float
+    write_nj: float
+    activate_nj: float
+    background_nj: float
+    refresh_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return (
+            self.read_nj
+            + self.write_nj
+            + self.activate_nj
+            + self.background_nj
+            + self.refresh_nj
+        )
+
+
+class DRAMEnergyModel:
+    """Computes an :class:`EnergyBreakdown` from DRAM counters."""
+
+    def __init__(self, config: DRAMEnergyConfig) -> None:
+        self.config = config
+
+    def estimate(self, dram_stats: Stats, cycles: int, name: str = "dram") -> EnergyBreakdown:
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        cfg = self.config
+        return EnergyBreakdown(
+            read_nj=dram_stats.get(f"{name}.reads") * cfg.read_nj,
+            write_nj=dram_stats.get(f"{name}.writes") * cfg.write_nj,
+            activate_nj=dram_stats.get(f"{name}.activates") * cfg.activate_nj,
+            background_nj=cycles * cfg.background_nj_per_cycle,
+            refresh_nj=cycles * cfg.refresh_nj_per_cycle,
+        )

@@ -1,0 +1,7 @@
+"""Page-table substrate: x86-style table, split walk caches, IOMMU."""
+
+from repro.pagetable.iommu import IOMMU
+from repro.pagetable.page_table import PageTable
+from repro.pagetable.walk_cache import SplitPageWalkCache
+
+__all__ = ["IOMMU", "PageTable", "SplitPageWalkCache"]

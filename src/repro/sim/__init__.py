@@ -1,0 +1,18 @@
+"""Simulation engine primitives: stats, resources, the wave scheduler."""
+
+from repro.sim.engine import Port, WaveScheduler
+from repro.sim.results import KernelResult, SimResult, geomean, speedup
+from repro.sim.stats import BoxStats, Distribution, PortIdleTracker, Stats
+
+__all__ = [
+    "BoxStats",
+    "Distribution",
+    "KernelResult",
+    "Port",
+    "PortIdleTracker",
+    "SimResult",
+    "Stats",
+    "WaveScheduler",
+    "geomean",
+    "speedup",
+]

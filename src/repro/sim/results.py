@@ -1,0 +1,79 @@
+"""Result records and summary helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.stats import BoxStats
+
+
+@dataclass
+class KernelResult:
+    """Per-kernel-invocation record (kernel-granularity counters)."""
+
+    kernel_name: str
+    invocation: int
+    start_cycle: int
+    end_cycle: int
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class SimResult:
+    """End-to-end result of simulating one application on one config."""
+
+    app_name: str
+    scheme: str
+    cycles: int
+    counters: Dict[str, float] = field(default_factory=dict)
+    kernels: List[KernelResult] = field(default_factory=list)
+    distributions: Dict[str, Optional[BoxStats]] = field(default_factory=dict)
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    @property
+    def instructions(self) -> float:
+        return self.counter("instructions")
+
+    @property
+    def page_walks(self) -> float:
+        return self.counter("iommu.walks")
+
+    @property
+    def ptw_pki(self) -> float:
+        """Page table walks per kilo-instruction (Table 2 metric)."""
+
+        instructions = self.instructions
+        if not instructions:
+            return 0.0
+        return 1000.0 * self.page_walks / instructions
+
+    def hit_ratio(self, structure: str) -> float:
+        hits = self.counter(f"{structure}.hits")
+        misses = self.counter(f"{structure}.misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+def speedup(baseline: SimResult, candidate: SimResult) -> float:
+    """Relative performance of ``candidate`` vs ``baseline`` (1.0 = equal)."""
+
+    if candidate.cycles == 0:
+        raise ValueError("candidate simulated zero cycles")
+    return baseline.cycles / candidate.cycles
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

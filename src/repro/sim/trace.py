@@ -1,0 +1,95 @@
+"""Optional execution tracing.
+
+Attach an :class:`ExecutionTracer` to a :class:`~repro.system.GPUSystem`
+before running to record one event per executed macro-op: which CU/SIMD ran
+it, the op kind, and its issue/completion times. Traces answer "where did
+the cycles go?" at wave granularity — the question every calibration session
+starts with — and export to JSON-lines for external tooling.
+
+Tracing is off by default and costs nothing when detached (a single ``is
+None`` test per op).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed macro-op."""
+
+    cu_id: int
+    simd_index: int
+    kernel_name: str
+    wg_id: int
+    op_kind: str
+    issued_at: int
+    completed_at: int
+
+    @property
+    def duration(self) -> int:
+        return self.completed_at - self.issued_at
+
+
+class ExecutionTracer:
+    """Bounded in-memory trace recorder."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError("need room for at least one event")
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(
+        self,
+        cu_id: int,
+        simd_index: int,
+        kernel_name: str,
+        wg_id: int,
+        op_kind: str,
+        issued_at: int,
+        completed_at: int,
+    ) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(
+                cu_id, simd_index, kernel_name, wg_id, op_kind,
+                issued_at, completed_at,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self) -> Dict[str, int]:
+        """Total cycles spent per op kind (sum of durations)."""
+
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.op_kind] = totals.get(event.op_kind, 0) + event.duration
+        return totals
+
+    def slowest(self, count: int = 10) -> List[TraceEvent]:
+        return sorted(self.events, key=lambda e: -e.duration)[:count]
+
+    def for_cu(self, cu_id: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.cu_id == cu_id]
+
+    def to_jsonl(self, path: Optional[str] = None) -> Optional[str]:
+        """Serialize events as JSON lines (to a file, or returned)."""
+
+        lines = (json.dumps(event.__dict__, sort_keys=True) for event in self.events)
+        if path is None:
+            return "\n".join(lines)
+        with open(path, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return None

@@ -1,0 +1,14 @@
+"""TLB structures: fully-associative L1, set-associative L2, coalescer."""
+
+from repro.tlb.base import TranslationEntry
+from repro.tlb.coalescer import AccessCoalescer, InFlightTable
+from repro.tlb.fully_assoc import FullyAssociativeTLB
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+__all__ = [
+    "AccessCoalescer",
+    "FullyAssociativeTLB",
+    "InFlightTable",
+    "SetAssociativeTLB",
+    "TranslationEntry",
+]

@@ -1,0 +1,14 @@
+"""Workload generators for the paper's benchmarks (Table 2) + survey suite."""
+
+from repro.workloads.base import AppSpec, KernelSpec, Layout, ProgramContext
+from repro.workloads.registry import all_apps, app_names, make_app
+
+__all__ = [
+    "AppSpec",
+    "KernelSpec",
+    "Layout",
+    "ProgramContext",
+    "all_apps",
+    "app_names",
+    "make_app",
+]

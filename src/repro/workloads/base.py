@@ -1,0 +1,386 @@
+"""Workload abstractions.
+
+An :class:`AppSpec` is an ordered sequence of kernel launches; each
+:class:`KernelSpec` describes one kernel's dispatch shape (work-groups,
+waves, LDS bytes requested per work-group — the quantity behind Figure 4a),
+its static code footprint in I-cache lines (behind Figures 5a and 11), and a
+factory that generates each wave's macro-op program.
+
+Generators must be deterministic: they receive a :class:`ProgramContext`
+carrying a stable seed derived from (app, kernel, invocation, wg, wave).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ProgramContext:
+    """Identifies one wave's slice of one kernel invocation."""
+
+    app_name: str
+    kernel_name: str
+    invocation: int
+    wg_id: int
+    wave_id: int
+    num_workgroups: int
+    waves_per_workgroup: int
+
+    @property
+    def global_wave(self) -> int:
+        """This wave's rank among all waves of the invocation."""
+
+        return self.wg_id * self.waves_per_workgroup + self.wave_id
+
+    @property
+    def total_waves(self) -> int:
+        return self.num_workgroups * self.waves_per_workgroup
+
+    def rng(self) -> random.Random:
+        # zlib.crc32 is stable across processes (str hash is salted).
+        import zlib
+
+        text = (
+            f"{self.app_name}/{self.kernel_name}/{self.invocation}"
+            f"/{self.wg_id}/{self.wave_id}"
+        )
+        return random.Random(zlib.crc32(text.encode()))
+
+
+ProgramFactory = Callable[[ProgramContext], Iterable[tuple]]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel's dispatch shape and program generator."""
+
+    name: str
+    num_workgroups: int
+    waves_per_workgroup: int
+    lds_bytes_per_workgroup: int
+    static_lines: int
+    program_factory: ProgramFactory
+
+    def __post_init__(self) -> None:
+        if self.num_workgroups < 1 or self.waves_per_workgroup < 1:
+            raise ValueError(f"kernel {self.name!r} dispatches no work")
+        if self.lds_bytes_per_workgroup < 0 or self.static_lines < 1:
+            raise ValueError(f"kernel {self.name!r} has invalid resources")
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """An application: a named launch sequence of kernels."""
+
+    name: str
+    kernels: Tuple[KernelSpec, ...]
+    category: str = "?"  # H / M / L per Table 2
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError(f"app {self.name!r} launches no kernels")
+
+    @property
+    def unique_kernel_names(self) -> List[str]:
+        seen = []
+        for kernel in self.kernels:
+            if kernel.name not in seen:
+                seen.append(kernel.name)
+        return seen
+
+    @property
+    def has_back_to_back_kernels(self) -> bool:
+        """Whether any kernel is launched twice in a row (Table 2, B-2-B)."""
+
+        return any(
+            self.kernels[i].name == self.kernels[i + 1].name
+            for i in range(len(self.kernels) - 1)
+        )
+
+
+def launch_sequence(*launches: Sequence) -> Tuple[KernelSpec, ...]:
+    """Expand (kernel, count) pairs into a flat launch tuple."""
+
+    sequence: List[KernelSpec] = []
+    for item in launches:
+        if isinstance(item, KernelSpec):
+            sequence.append(item)
+        else:
+            kernel, count = item
+            sequence.extend([kernel] * count)
+    return tuple(sequence)
+
+
+# ----------------------------------------------------------------------
+# Reusable access-pattern building blocks
+# ----------------------------------------------------------------------
+#
+# Generators work in *byte* space and convert to virtual page numbers via a
+# Layout, so the same workload automatically exhibits the paper's page-size
+# sensitivity (Section 6.2): with 64KB or 2MB pages the identical access
+# stream collapses onto fewer pages and TLB pressure shrinks.
+
+
+KB = 1024
+MB = 1024 * 1024
+
+#: Bytes moved per dynamic memory instruction (a 64-lane, 4-byte access).
+BYTES_PER_MEM_INSTR = 256
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Maps an app's named data regions onto the virtual address space."""
+
+    page_size: int = 4096
+
+    @property
+    def page_shift(self) -> int:
+        return self.page_size.bit_length() - 1
+
+    def region_base(self, region_index: int) -> int:
+        """Byte base of a data region; regions are 64GB apart.
+
+        Bases are page-aligned but deliberately *not* aligned to the
+        direct-mapped index period of the victim caches (a real allocator
+        returns arbitrary page offsets; a 2^36-aligned base would alias
+        every region onto segment/line 0).
+        """
+
+        return ((region_index + 1) << 36) + (region_index * 977 + 131) * self.page_size
+
+    def vpn(self, byte_address: int) -> int:
+        return byte_address >> self.page_shift
+
+    def pages(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.page_size))
+
+    @property
+    def instr_per_page(self) -> int:
+        """Streaming instructions needed to cover one page."""
+
+        return max(1, self.page_size // BYTES_PER_MEM_INSTR)
+
+
+def stream_ops(
+    layout: Layout,
+    base_byte: int,
+    nbytes: int,
+    pages_per_op: int = 8,
+    is_write: bool = False,
+) -> Iterable[tuple]:
+    """Sequential streaming over ``nbytes`` (compulsory page misses)."""
+
+    from repro.gpu.instructions import mem
+
+    num_pages = layout.pages(nbytes)
+    base_vpn = layout.vpn(base_byte)
+    instr_per_page = layout.instr_per_page
+    lines_per_page = layout.page_size // 64
+    # Keep macro-ops to a bounded instruction count so large pages (whose
+    # full coverage is thousands of instructions) do not turn into single
+    # huge scheduling units.
+    max_instr_per_op = 2048
+    if instr_per_page > max_instr_per_op:
+        chunks = -(-instr_per_page // max_instr_per_op)
+        chunk_lines = max(1, lines_per_page // chunks)
+        for page in range(num_pages):
+            vpn = (base_vpn + page,)
+            for _ in range(chunks):
+                yield mem(
+                    vpn,
+                    instr_count=max_instr_per_op,
+                    is_write=is_write,
+                    lines_per_page=chunk_lines,
+                )
+        return
+    pages_per_op = min(pages_per_op, max(1, max_instr_per_op // instr_per_page))
+    for start in range(0, num_pages, pages_per_op):
+        count = min(pages_per_op, num_pages - start)
+        vpns = tuple(base_vpn + start + i for i in range(count))
+        yield mem(
+            vpns,
+            instr_count=count * instr_per_page,
+            is_write=is_write,
+            lines_per_page=lines_per_page,
+        )
+
+
+def sweep_ops(
+    layout: Layout,
+    base_byte: int,
+    working_set_bytes: int,
+    touches: int,
+    rng: random.Random,
+    pages_per_op: int = 8,
+    instr_per_touch: int = 16,
+    is_write: bool = False,
+) -> Iterable[tuple]:
+    """``touches`` randomized accesses over a reused working set.
+
+    Randomized visitation (rather than a strict cyclic sweep) models the
+    loosely-ordered way hundreds of concurrent waves revisit a shared
+    structure, and yields capacity-proportional — not cliff-shaped — victim
+    cache hit rates.
+    """
+
+    from repro.gpu.instructions import mem
+
+    randrange = rng.randrange
+    base_byte &= ~(layout.page_size - 1)
+    shift = layout.page_shift
+    remaining = touches
+    while remaining > 0:
+        count = min(pages_per_op, remaining)
+        vpns = tuple(
+            (base_byte + randrange(working_set_bytes)) >> shift
+            for _ in range(count)
+        )
+        yield mem(vpns, instr_count=count * instr_per_touch, is_write=is_write)
+        remaining -= count
+
+
+def blocked_sweep_ops(
+    layout: Layout,
+    base_byte: int,
+    working_set_bytes: int,
+    block_bytes: int,
+    block_index_fn,
+    touches: int,
+    epochs: int,
+    rng: random.Random,
+    pages_per_op: int = 8,
+    instr_per_touch: int = 16,
+    is_write: bool = False,
+    cu_slice: Optional[Tuple[int, int, float]] = None,
+) -> Iterable[tuple]:
+    """Randomized sweeps over *drifting blocks* of a large working set.
+
+    In each of ``epochs`` phases the wave revisits one ``block_bytes``-sized
+    block of the working set, selected by ``block_index_fn(epoch,
+    num_blocks)``; blocks drift across epochs. This models the temporal
+    affinity of real GPU workloads: waves co-located on a CU (or CU group)
+    hammer the same region for a while, so per-CU structures see strong
+    reuse, while over the whole run pages are touched by many CUs — the
+    cross-CU sharing of Figure 14a, and the duplication that advantages the
+    *shared* I-cache over the *private* LDS (Section 6.1.1).
+    """
+
+    num_blocks = max(1, working_set_bytes // block_bytes)
+    per_epoch = max(1, touches // max(1, epochs))
+    for epoch in range(epochs):
+        block = block_index_fn(epoch, num_blocks) % num_blocks
+        block_base = base_byte + block * block_bytes
+        if cu_slice is None:
+            yield from sweep_ops(
+                layout,
+                block_base,
+                block_bytes,
+                per_epoch,
+                rng,
+                pages_per_op=pages_per_op,
+                instr_per_touch=instr_per_touch,
+                is_write=is_write,
+            )
+            continue
+        # Biased touching: most accesses fall in this CU's slice of the
+        # block (captured by the CU-private LDS), the rest anywhere in it
+        # (captured only by shared structures). Slices *rotate* between CUs
+        # across epochs: the CU-private LDS must re-learn its slice every
+        # epoch, while the shared I-cache — which holds the block for the
+        # whole group — is insensitive to the rotation. This is the mix of
+        # temporal CU affinity and long-term sharing that makes the two
+        # capacities compose (Section 4.4) and produces the cross-CU
+        # sharing of Figure 14a.
+        slice_index, slice_count, bias = cu_slice
+        slice_bytes = max(layout.page_size, block_bytes // slice_count)
+        slice_base = block_base + (
+            (slice_index + epoch) % slice_count
+        ) * slice_bytes
+        local = int(round(per_epoch * bias))
+        remote = per_epoch - local
+        yield from interleave(
+            sweep_ops(
+                layout, slice_base, slice_bytes, local, rng,
+                pages_per_op=pages_per_op, instr_per_touch=instr_per_touch,
+                is_write=is_write,
+            ),
+            sweep_ops(
+                layout, block_base, block_bytes, remote, rng,
+                pages_per_op=pages_per_op, instr_per_touch=instr_per_touch,
+                is_write=is_write,
+            ) if remote > 0 else iter(()),
+        )
+
+
+def random_ops(
+    layout: Layout,
+    base_byte: int,
+    footprint_bytes: int,
+    num_ops: int,
+    pages_per_op: int,
+    rng: random.Random,
+    instr_per_op: int,
+    alu_per_op: int = 0,
+    is_write: bool = False,
+) -> Iterable[tuple]:
+    """GUPS-style uniform random accesses over a huge footprint."""
+
+    from repro.gpu.instructions import alu, mem
+
+    randrange = rng.randrange
+    base_byte &= ~(layout.page_size - 1)
+    shift = layout.page_shift
+    for _ in range(num_ops):
+        vpns = tuple(
+            (base_byte + randrange(footprint_bytes)) >> shift
+            for _ in range(pages_per_op)
+        )
+        yield mem(vpns, instr_count=instr_per_op, is_write=is_write)
+        if alu_per_op:
+            yield alu(alu_per_op)
+
+
+def code_walk_ops(
+    static_lines: int, body_lines: int, iterations: int
+) -> Iterable[tuple]:
+    """PC movement over a loop body of ``body_lines`` I-cache lines."""
+
+    from repro.gpu.instructions import line
+
+    if body_lines < 1 or iterations < 1:
+        return
+    body_lines = min(body_lines, static_lines)
+    for _ in range(iterations):
+        for line_id in range(body_lines):
+            yield line(line_id)
+
+
+def prologue_ops(rng: random.Random, spread: int = 150) -> Iterable[tuple]:
+    """A small randomized warm-up (argument setup, index math).
+
+    Besides realism, this de-phases the otherwise identical wave programs
+    so shared structures see the loosely-staggered traffic of a real GPU
+    rather than perfectly lock-stepped bursts.
+    """
+
+    from repro.gpu.instructions import alu
+
+    yield alu(1 + rng.randrange(max(1, spread)))
+
+
+def interleave(*generators: Iterable[tuple]) -> Iterable[tuple]:
+    """Round-robin merge of several op streams (models mixed phases)."""
+
+    active = [iter(generator) for generator in generators]
+    while active:
+        still_active = []
+        for generator in active:
+            op = next(generator, None)
+            if op is not None:
+                yield op
+                still_active.append(generator)
+        active = still_active

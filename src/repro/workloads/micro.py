@@ -1,0 +1,69 @@
+"""GUPS micro-benchmark: random updates over a huge table (Table 2: H).
+
+GUPS's footprint vastly exceeds even the augmented translation reach, so
+the reconfigurable design helps only in proportion to the added entries
+(the paper measures +9.14%, Figure 13b) — an important calibration point
+showing the scheme's benefit saturates with footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.workloads.base import (
+    AppSpec,
+    KernelSpec,
+    Layout,
+    MB,
+    ProgramContext,
+    code_walk_ops,
+    interleave,
+    prologue_ops,
+    random_ops,
+)
+
+_FOOTPRINT_BYTES = 160 * MB
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _gups_kernel(layout: Layout, kernel_name: str, scale: float) -> KernelSpec:
+    num_ops = _scaled(40, scale)
+
+    def factory(ctx: ProgramContext) -> Iterable[tuple]:
+        rng = ctx.rng()
+        updates = random_ops(
+            layout,
+            layout.region_base(0),
+            _FOOTPRINT_BYTES,
+            num_ops=num_ops,
+            pages_per_op=16,
+            rng=rng,
+            instr_per_op=16,
+            alu_per_op=420,
+            is_write=True,
+        )
+        code = code_walk_ops(20, 4, max(1, num_ops // 4))
+        return interleave(prologue_ops(rng), updates, code)
+
+    return KernelSpec(
+        name=kernel_name,
+        num_workgroups=32,
+        waves_per_workgroup=4,
+        lds_bytes_per_workgroup=0,
+        static_lines=20,
+        program_factory=factory,
+    )
+
+
+def make_gups(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """GUPS: three kernels (init, update, verify), none back-to-back."""
+
+    layout = Layout(page_size)
+    kernels = tuple(
+        _gups_kernel(layout, name, scale)
+        for name in ("gups_init", "gups_update", "gups_verify")
+    )
+    return AppSpec(name="GUPS", kernels=kernels, category="H")

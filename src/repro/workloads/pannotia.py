@@ -1,0 +1,193 @@
+"""Pannotia graph applications: BFS, SSSP, PageRank (PRK).
+
+- BFS: 24 frontier kernels (distinct launches, never back-to-back) doing
+  irregular CSR gathers over a graph whose footprint moderately exceeds the
+  baseline TLB reach — category M.
+- SSSP: thousands of tiny kernels in the paper (10,504); we launch a scaled
+  sequence of alternating relax/update kernels with a working set that fits
+  the baseline TLB — category L (PTW-PKI 0.17), so the reconfigurable
+  schemes must not hurt it.
+- PageRank (PRK): 41 iteration kernels over a rank vector that also fits
+  baseline reach — category L.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.gpu.instructions import alu, lds_op
+from repro.workloads.base import (
+    AppSpec,
+    KB,
+    KernelSpec,
+    Layout,
+    MB,
+    ProgramContext,
+    code_walk_ops,
+    interleave,
+    prologue_ops,
+    stream_ops,
+    sweep_ops,
+)
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+# ----------------------------------------------------------------------
+# BFS
+# ----------------------------------------------------------------------
+
+_BFS_LEVELS = 24
+_BFS_GRAPH_BYTES = 10 * MB
+
+
+def _bfs_kernel(layout: Layout, level: int, scale: float) -> KernelSpec:
+    # Frontier size rises then falls across levels (power-law graph).
+    shape = min(level + 1, _BFS_LEVELS - level, 6)
+    touches_per_wave = _scaled(12 * shape, scale)
+
+    def factory(ctx: ProgramContext) -> Iterable[tuple]:
+        rng = ctx.rng()
+        gathers = sweep_ops(
+            layout,
+            layout.region_base(0),
+            _BFS_GRAPH_BYTES,
+            touches_per_wave,
+            rng,
+            instr_per_touch=16,
+        )
+        frontier = stream_ops(
+            layout,
+            layout.region_base(1) + ctx.global_wave * 2 * layout.page_size,
+            2 * layout.page_size,
+        )
+
+        def compute():
+            for _ in range(max(1, touches_per_wave // 8)):
+                yield alu(260)
+                yield lds_op(2)
+
+        code = code_walk_ops(60, 6, max(1, touches_per_wave // 12))
+        return interleave(prologue_ops(rng), gathers, frontier, compute(), code)
+
+    return KernelSpec(
+        name=f"bfs_level{level}",
+        num_workgroups=16,
+        waves_per_workgroup=4,
+        lds_bytes_per_workgroup=512,
+        static_lines=60,
+        program_factory=factory,
+    )
+
+
+def make_bfs(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """BFS: 24 frontier kernels, none back-to-back (category M)."""
+
+    layout = Layout(page_size)
+    kernels = tuple(_bfs_kernel(layout, level, scale) for level in range(_BFS_LEVELS))
+    return AppSpec(name="BFS", kernels=kernels, category="M")
+
+
+# ----------------------------------------------------------------------
+# SSSP
+# ----------------------------------------------------------------------
+
+_SSSP_LAUNCHES = 300  # scaled stand-in for the paper's 10,504 launches
+_SSSP_WS_BYTES = int(1.2 * MB)
+
+
+def _sssp_kernel(layout: Layout, name: str, scale: float) -> KernelSpec:
+    touches_per_wave = _scaled(4, scale)
+
+    def factory(ctx: ProgramContext) -> Iterable[tuple]:
+        rng = ctx.rng()
+        relax = sweep_ops(
+            layout,
+            layout.region_base(0),
+            _SSSP_WS_BYTES,
+            touches_per_wave,
+            rng,
+            instr_per_touch=16,
+        )
+
+        def compute():
+            for _ in range(2):
+                yield alu(400)
+
+        code = code_walk_ops(25, 4, 2)
+        return interleave(prologue_ops(rng), relax, compute(), code)
+
+    return KernelSpec(
+        name=name,
+        num_workgroups=8,
+        waves_per_workgroup=2,
+        lds_bytes_per_workgroup=0,
+        static_lines=25,
+        program_factory=factory,
+    )
+
+
+def make_sssp(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """SSSP: alternating relax/update kernels, working set fits the TLB (L)."""
+
+    layout = Layout(page_size)
+    launches = _scaled(_SSSP_LAUNCHES, min(1.0, scale * 2), 10)
+    relax = _sssp_kernel(layout, "sssp_relax", scale)
+    update = _sssp_kernel(layout, "sssp_update", scale)
+    sequence: Tuple[KernelSpec, ...] = tuple(
+        relax if i % 2 == 0 else update for i in range(launches)
+    )
+    return AppSpec(name="SSSP", kernels=sequence, category="L")
+
+
+# ----------------------------------------------------------------------
+# PageRank
+# ----------------------------------------------------------------------
+
+_PRK_ITERATIONS = 41
+_PRK_WS_BYTES = int(1.7 * MB)
+
+
+def _prk_kernel(layout: Layout, name: str, scale: float) -> KernelSpec:
+    touches_per_wave = _scaled(24, scale)
+
+    def factory(ctx: ProgramContext) -> Iterable[tuple]:
+        rng = ctx.rng()
+        ranks = sweep_ops(
+            layout,
+            layout.region_base(0),
+            _PRK_WS_BYTES,
+            touches_per_wave,
+            rng,
+            instr_per_touch=16,
+        )
+
+        def compute():
+            for _ in range(max(1, touches_per_wave // 6)):
+                yield alu(700)
+                yield lds_op(1)
+
+        code = code_walk_ops(35, 5, max(1, touches_per_wave // 10))
+        return interleave(prologue_ops(rng), ranks, compute(), code)
+
+    return KernelSpec(
+        name=name,
+        num_workgroups=16,
+        waves_per_workgroup=2,
+        lds_bytes_per_workgroup=1024,
+        static_lines=35,
+        program_factory=factory,
+    )
+
+
+def make_pagerank(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """PageRank: 41 iteration kernels alternating push/pull phases (L)."""
+
+    layout = Layout(page_size)
+    push = _prk_kernel(layout, "prk_push", scale)
+    pull = _prk_kernel(layout, "prk_pull", scale)
+    iterations = _scaled(_PRK_ITERATIONS, min(1.0, scale * 2), 6)
+    sequence = tuple(push if i % 2 == 0 else pull for i in range(iterations))
+    return AppSpec(name="PRK", kernels=sequence, category="L")

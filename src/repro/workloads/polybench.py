@@ -1,0 +1,286 @@
+"""Polybench matrix-vector applications: ATAX, BICG, GESUMMV (GEV), MVT.
+
+These are the paper's most translation-bound applications (Table 2 category
+High). Their common shape: kernels stream a large matrix (compulsory TLB
+misses with strong walk locality) while repeatedly revisiting vector/column
+working sets whose footprint exceeds the baseline TLB reach — those
+revisits are what the reconfigurable victim caches rescue.
+
+Affinity matters: ATAX/BICG/MVT revisit *globally shared* working sets, so
+per-CU LDS copies duplicate translations (Figure 14a) and the shared
+I-cache — which deduplicates across its four CUs — outperforms the private
+LDS (Section 6.1). GESUMMV is generated with CU-partitioned working sets
+(low sharing in Figure 14a), making the private LDS the better fit for it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.gpu.instructions import alu
+from repro.workloads.base import (
+    AppSpec,
+    KB,
+    KernelSpec,
+    Layout,
+    MB,
+    ProgramContext,
+    blocked_sweep_ops,
+    code_walk_ops,
+    interleave,
+    prologue_ops,
+    stream_ops,
+    sweep_ops,
+)
+
+_WGS = 32
+_WAVES_PER_WG = 4
+
+#: CUs in the simulated GPU / per I-cache group; used only to shape the
+#: affinity of synthetic access patterns (work-groups land on CU wg%8).
+_NUM_CUS = 8
+_CUS_PER_GROUP = 4
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _affinity_fn(affinity: str, ctx: ProgramContext):
+    """Block-selection function implementing CU/group/GPU-wide affinity."""
+
+    cu = ctx.wg_id % _NUM_CUS
+    group = cu // _CUS_PER_GROUP
+    if affinity == "cu":
+        return lambda epoch, blocks: cu * 3 + epoch
+    if affinity == "group":
+        return lambda epoch, blocks: group * 5 + epoch * 2
+    if affinity == "all":
+        return lambda epoch, blocks: epoch
+    raise ValueError(f"unknown affinity {affinity!r}")
+
+
+def matvec_kernel(
+    kernel_name: str,
+    layout: Layout,
+    *,
+    stream_region: Optional[int] = None,
+    stream_bytes_per_wave: int = 0,
+    sweep_region: int,
+    sweep_ws_bytes: int,
+    sweep_block_bytes: int,
+    sweep_touches_per_wave: int,
+    sweep_epochs: int = 1,
+    affinity: str = "all",
+    cu_bias: float = 0.45,
+    shared_region: Optional[int] = None,
+    shared_ws_bytes: int = 0,
+    shared_touches_per_wave: int = 0,
+    instr_per_touch: int = 16,
+    alu_per_wave: int = 0,
+    static_lines: int = 32,
+    body_lines: int = 5,
+    num_workgroups: int = _WGS,
+    waves_per_workgroup: int = _WAVES_PER_WG,
+) -> KernelSpec:
+    """One matrix-vector-style kernel: stream + blocked-sweep + compute."""
+
+    def factory(ctx: ProgramContext) -> Iterable[tuple]:
+        rng = ctx.rng()
+        streams = [prologue_ops(rng)]
+        if stream_bytes_per_wave and stream_region is not None:
+            offset = ctx.global_wave * stream_bytes_per_wave
+            streams.append(
+                stream_ops(
+                    layout,
+                    layout.region_base(stream_region) + offset,
+                    stream_bytes_per_wave,
+                )
+            )
+        cu_slice = None
+        if affinity == "group":
+            # Each CU prefers its own quarter of the group's block; the
+            # remainder is shared group-wide (see blocked_sweep_ops).
+            cu_slice = (ctx.wg_id % _NUM_CUS % _CUS_PER_GROUP, _CUS_PER_GROUP, cu_bias)
+        streams.append(
+            blocked_sweep_ops(
+                layout,
+                layout.region_base(sweep_region),
+                sweep_ws_bytes,
+                sweep_block_bytes,
+                _affinity_fn(affinity, ctx),
+                sweep_touches_per_wave,
+                sweep_epochs,
+                rng,
+                instr_per_touch=instr_per_touch,
+                cu_slice=cu_slice,
+            )
+        )
+        if shared_region is not None and shared_touches_per_wave:
+            # A small structure (result vectors) genuinely shared by every
+            # CU: the nonzero tail of Figure 14a's low-sharing apps.
+            streams.append(
+                sweep_ops(
+                    layout,
+                    layout.region_base(shared_region),
+                    shared_ws_bytes,
+                    shared_touches_per_wave,
+                    rng,
+                    instr_per_touch=instr_per_touch,
+                )
+            )
+        total_ops = sweep_touches_per_wave // 8 + stream_bytes_per_wave // (
+            8 * layout.page_size
+        )
+        streams.append(
+            code_walk_ops(static_lines, body_lines, max(1, total_ops // body_lines))
+        )
+        if alu_per_wave:
+
+            def alu_stream():
+                chunk = max(1, alu_per_wave // 16)
+                remaining = alu_per_wave
+                while remaining > 0:
+                    step = min(chunk, remaining)
+                    yield alu(step)
+                    remaining -= step
+
+            streams.append(alu_stream())
+        return interleave(*streams)
+
+    return KernelSpec(
+        name=kernel_name,
+        num_workgroups=num_workgroups,
+        waves_per_workgroup=waves_per_workgroup,
+        lds_bytes_per_workgroup=0,
+        static_lines=static_lines,
+        program_factory=factory,
+    )
+
+
+def make_atax(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """ATAX: y = Aᵀ(Ax). Two kernels, not back-to-back (Table 2: H)."""
+
+    layout = Layout(page_size)
+    k1 = matvec_kernel(
+        "atax_kernel1", layout,
+        stream_region=0,
+        stream_bytes_per_wave=_scaled(256 * KB, scale, layout.page_size),
+        sweep_region=1,
+        sweep_ws_bytes=30 * MB,
+        sweep_block_bytes=10 * MB,
+        sweep_touches_per_wave=_scaled(320, scale),
+        affinity="group",
+        alu_per_wave=_scaled(1200, scale),
+        static_lines=120,
+        body_lines=8,
+    )
+    k2 = matvec_kernel(
+        "atax_kernel2", layout,
+        stream_region=2,
+        stream_bytes_per_wave=_scaled(64 * KB, scale, layout.page_size),
+        sweep_region=3,
+        sweep_ws_bytes=36 * MB,
+        sweep_block_bytes=12 * MB,
+        sweep_touches_per_wave=_scaled(800, scale),
+        affinity="group",
+        alu_per_wave=_scaled(1500, scale),
+        static_lines=110,
+        body_lines=9,
+    )
+    return AppSpec(name="ATAX", kernels=(k1, k2), category="H")
+
+
+def make_bicg(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """BICG: two matrix-vector products with shared vectors (H)."""
+
+    layout = Layout(page_size)
+    k1 = matvec_kernel(
+        "bicg_kernel1", layout,
+        stream_region=0,
+        stream_bytes_per_wave=_scaled(224 * KB, scale, layout.page_size),
+        sweep_region=1,
+        sweep_ws_bytes=33 * MB,
+        sweep_block_bytes=11 * MB,
+        sweep_touches_per_wave=_scaled(340, scale),
+        affinity="group",
+        alu_per_wave=_scaled(1200, scale),
+        static_lines=115,
+        body_lines=8,
+    )
+    k2 = matvec_kernel(
+        "bicg_kernel2", layout,
+        stream_region=2,
+        stream_bytes_per_wave=_scaled(64 * KB, scale, layout.page_size),
+        sweep_region=3,
+        sweep_ws_bytes=39 * MB,
+        sweep_block_bytes=13 * MB,
+        sweep_touches_per_wave=_scaled(720, scale),
+        affinity="group",
+        alu_per_wave=_scaled(1600, scale),
+        static_lines=105,
+        body_lines=9,
+    )
+    return AppSpec(name="BICG", kernels=(k1, k2), category="H")
+
+
+def make_gesummv(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """GESUMMV (GEV): one kernel, two summed matrix-vector products (H).
+
+    The highest PTW-PKI in Table 2 (90.7): almost every instruction is a
+    scattered access. Work is CU-partitioned, so cross-CU translation
+    sharing is low (Figure 14a) and the private LDS captures its reuse.
+    """
+
+    layout = Layout(page_size)
+    kernel = matvec_kernel(
+        "gesummv_kernel", layout,
+        stream_region=0,
+        stream_bytes_per_wave=_scaled(96 * KB, scale, layout.page_size),
+        sweep_region=1,
+        sweep_ws_bytes=24 * MB,
+        sweep_block_bytes=3 * MB,
+        sweep_touches_per_wave=_scaled(900, scale),
+        affinity="cu",
+        shared_region=4,
+        shared_ws_bytes=12 * MB,
+        shared_touches_per_wave=_scaled(80, scale),
+        instr_per_touch=6,
+        alu_per_wave=_scaled(600, scale),
+        static_lines=90,
+        body_lines=9,
+    )
+    return AppSpec(name="GEV", kernels=(kernel,), category="H")
+
+
+def make_mvt(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """MVT: x1 = x1 + A·y1; x2 = x2 + Aᵀ·y2. Two kernels (H)."""
+
+    layout = Layout(page_size)
+    k1 = matvec_kernel(
+        "mvt_kernel1", layout,
+        stream_region=0,
+        stream_bytes_per_wave=_scaled(224 * KB, scale, layout.page_size),
+        sweep_region=1,
+        sweep_ws_bytes=27 * MB,
+        sweep_block_bytes=9 * MB,
+        sweep_touches_per_wave=_scaled(330, scale),
+        affinity="group",
+        alu_per_wave=_scaled(1400, scale),
+        static_lines=100,
+        body_lines=7,
+    )
+    k2 = matvec_kernel(
+        "mvt_kernel2", layout,
+        stream_region=2,
+        stream_bytes_per_wave=_scaled(64 * KB, scale, layout.page_size),
+        sweep_region=3,
+        sweep_ws_bytes=36 * MB,
+        sweep_block_bytes=12 * MB,
+        sweep_touches_per_wave=_scaled(580, scale),
+        affinity="group",
+        alu_per_wave=_scaled(1700, scale),
+        static_lines=118,
+        body_lines=8,
+    )
+    return AppSpec(name="MVT", kernels=(k1, k2), category="H")

@@ -1,0 +1,54 @@
+"""Registry mapping Table 2 application names to their factories."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import AppSpec
+from repro.workloads.micro import make_gups
+from repro.workloads.pannotia import make_bfs, make_pagerank, make_sssp
+from repro.workloads.polybench import make_atax, make_bicg, make_gesummv, make_mvt
+from repro.workloads.rodinia import make_nw, make_srad
+
+#: Table 2 order: High, then Medium, then Low applications.
+_FACTORIES: Dict[str, Callable[..., AppSpec]] = {
+    "ATAX": make_atax,
+    "GEV": make_gesummv,
+    "MVT": make_mvt,
+    "BICG": make_bicg,
+    "GUPS": make_gups,
+    "NW": make_nw,
+    "BFS": make_bfs,
+    "SSSP": make_sssp,
+    "PRK": make_pagerank,
+    "SRAD": make_srad,
+}
+
+#: Table 2 categorization by baseline PTW-PKI.
+CATEGORIES: Dict[str, str] = {
+    "ATAX": "H", "GEV": "H", "MVT": "H", "BICG": "H", "GUPS": "H",
+    "NW": "M", "BFS": "M",
+    "SSSP": "L", "PRK": "L", "SRAD": "L",
+}
+
+HIGH_APPS = [name for name, cat in CATEGORIES.items() if cat == "H"]
+MEDIUM_APPS = [name for name, cat in CATEGORIES.items() if cat == "M"]
+LOW_APPS = [name for name, cat in CATEGORIES.items() if cat == "L"]
+
+
+def app_names() -> List[str]:
+    return list(_FACTORIES)
+
+
+def make_app(name: str, scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    return factory(scale=scale, page_size=page_size)
+
+
+def all_apps(scale: float = 1.0, page_size: int = 4096) -> List[AppSpec]:
+    return [make_app(name, scale, page_size) for name in _FACTORIES]

@@ -1,0 +1,173 @@
+"""Rodinia applications: NW and SRAD (Table 2).
+
+- NW (Needleman-Wunsch) launches the same kernel 255 times back-to-back
+  (Table 2, B-2-B = Yes): a sliding diagonal window over the score matrix
+  with heavy inter-kernel reuse and real LDS usage. The B-2-B property
+  suppresses the I-cache flush optimization (Section 4.3.3).
+- SRAD is a regular stencil whose working set fits the baseline TLB reach:
+  ~0 page walks (category L), large static code footprint (it is one of the
+  kernels that fills the entire I-cache in Figure 5a), and LDS usage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.gpu.instructions import alu, lds_op
+from repro.workloads.base import (
+    AppSpec,
+    KB,
+    KernelSpec,
+    Layout,
+    MB,
+    ProgramContext,
+    code_walk_ops,
+    interleave,
+    prologue_ops,
+    stream_ops,
+    sweep_ops,
+)
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+# ----------------------------------------------------------------------
+# NW
+# ----------------------------------------------------------------------
+
+_NW_LAUNCHES = 255
+_NW_WINDOW_BYTES = int(3.6 * MB)
+_NW_SLIDE_BYTES = 32 * KB
+_NW_LDS_BYTES = 2112  # the real nw_kernel1 LDS request
+
+#: Diagonal cells are statically owned by work-groups in fixed 512KB blocks
+#: of the score matrix, so a block is only ever touched by one CU (the low
+#: cross-CU sharing the paper measures for NW in Figure 14a).
+_NW_BLOCK_BYTES = 512 * KB
+_NW_OWNERS = 8
+
+
+def _nw_owned_sweep(layout, window_base, touches, owner, rng):
+    """Randomized touches over the owner's blocks of the sliding window."""
+
+    from repro.gpu.instructions import mem
+
+    first_block = window_base // _NW_BLOCK_BYTES
+    last_block = (window_base + _NW_WINDOW_BYTES) // _NW_BLOCK_BYTES
+    owned = [
+        block
+        for block in range(first_block, last_block + 1)
+        if block % _NW_OWNERS == owner
+    ] or [first_block]
+    all_blocks = list(range(first_block, last_block + 1))
+    halo_bytes = 64 * KB
+    shift = layout.page_shift
+    remaining = touches
+    while remaining > 0:
+        count = min(8, remaining)
+        vpns = []
+        for _ in range(count):
+            if rng.random() < 0.1:
+                # Diagonal boundary cells: the halo at the start of any
+                # block is read by the neighbouring owner too — the small
+                # nonzero sharing Figure 14a shows for NW.
+                block = rng.choice(all_blocks)
+                offset = rng.randrange(halo_bytes)
+            else:
+                block = rng.choice(owned)
+                offset = rng.randrange(_NW_BLOCK_BYTES)
+            vpns.append((block * _NW_BLOCK_BYTES + offset) >> shift)
+        yield mem(tuple(vpns), instr_count=count * 16)
+        remaining -= count
+
+
+def _nw_kernel(layout: Layout, scale: float) -> KernelSpec:
+    touches_per_wave = _scaled(24, scale)
+
+    def factory(ctx: ProgramContext) -> Iterable[tuple]:
+        rng = ctx.rng()
+        window_base = layout.region_base(0) + ctx.invocation * _NW_SLIDE_BYTES
+        matrix = _nw_owned_sweep(
+            layout, window_base, touches_per_wave,
+            ctx.wg_id % _NW_OWNERS, rng,
+        )
+
+        def lds_phase():
+            for _ in range(4):
+                yield lds_op(4)
+                yield alu(120)
+
+        code = code_walk_ops(45, 5, max(1, touches_per_wave // 4))
+        return interleave(prologue_ops(rng), matrix, lds_phase(), code)
+
+    return KernelSpec(
+        name="nw_kernel1",
+        num_workgroups=8,
+        waves_per_workgroup=2,
+        lds_bytes_per_workgroup=_NW_LDS_BYTES,
+        static_lines=45,
+        program_factory=factory,
+    )
+
+
+def make_nw(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """NW: 255 back-to-back launches of nw_kernel1 (category M)."""
+
+    layout = Layout(page_size)
+    launches = _scaled(_NW_LAUNCHES, min(1.0, scale * 2), 8)
+    kernel = _nw_kernel(layout, scale)
+    return AppSpec(name="NW", kernels=(kernel,) * launches, category="M")
+
+
+# ----------------------------------------------------------------------
+# SRAD
+# ----------------------------------------------------------------------
+
+_SRAD_WS_BYTES = int(0.9 * MB)
+_SRAD_LDS_BYTES = 2048
+
+
+def _srad_kernel(layout: Layout, scale: float) -> KernelSpec:
+    touches_per_wave = _scaled(400, scale)
+
+    def factory(ctx: ProgramContext) -> Iterable[tuple]:
+        rng = ctx.rng()
+        stencil = sweep_ops(
+            layout,
+            layout.region_base(0),
+            _SRAD_WS_BYTES,
+            touches_per_wave,
+            rng,
+            instr_per_touch=16,
+        )
+        halo = stream_ops(
+            layout,
+            layout.region_base(1) + ctx.global_wave * 4 * layout.page_size,
+            4 * layout.page_size,
+        )
+
+        def lds_phase():
+            for _ in range(max(1, touches_per_wave // 50)):
+                yield lds_op(6)
+                yield alu(900)
+
+        code = code_walk_ops(250, 200, max(1, touches_per_wave // 400))
+        return interleave(prologue_ops(rng), stencil, halo, lds_phase(), code)
+
+    return KernelSpec(
+        name="srad_kernel",
+        num_workgroups=24,
+        waves_per_workgroup=4,
+        lds_bytes_per_workgroup=_SRAD_LDS_BYTES,
+        static_lines=250,
+        program_factory=factory,
+    )
+
+
+def make_srad(scale: float = 1.0, page_size: int = 4096) -> AppSpec:
+    """SRAD: one stencil kernel, ~0 baseline page walks (category L)."""
+
+    layout = Layout(page_size)
+    return AppSpec(name="SRAD", kernels=(_srad_kernel(layout, scale),), category="L")

@@ -1,0 +1,102 @@
+"""Synthetic survey suite for the motivation study (Figures 4a and 5a).
+
+The paper profiles 54 applications from six suites on a real Radeon RX 580
+to establish two distributions: LDS bytes requested per work-group (~70% of
+apps request none; no app uses the full LDS) and I-cache utilization (~24%
+always fill the I-cache; the rest never or only sometimes do). We cannot run
+those 54 proprietary binaries; this module generates a parameterized suite
+of small synthetic apps spanning the same distribution shapes, which the
+Figure 4/5 harness runs alongside the ten main benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.gpu.instructions import alu, lds_op
+from repro.workloads.base import (
+    AppSpec,
+    KernelSpec,
+    Layout,
+    MB,
+    ProgramContext,
+    code_walk_ops,
+    interleave,
+    prologue_ops,
+    sweep_ops,
+)
+
+#: (name suffix, lds bytes/WG, static lines per kernel, kernels) — chosen so
+#: roughly 70% request no LDS and roughly a quarter fill the I-cache, per
+#: the paper's real-system survey.
+_SURVEY_SHAPES = [
+    ("nolds_tiny", 0, 12, 2),
+    ("nolds_small", 0, 24, 3),
+    ("nolds_mid", 0, 48, 2),
+    ("nolds_loopy", 0, 80, 4),
+    ("nolds_multi", 0, 36, 6),
+    ("nolds_flat", 0, 20, 1),
+    ("nolds_deep", 0, 64, 2),
+    ("nolds_wide", 0, 100, 3),
+    ("nolds_lean", 0, 16, 5),
+    ("nolds_two", 0, 40, 2),
+    ("nolds_three", 0, 56, 3),
+    ("nolds_long", 0, 72, 2),
+    ("nolds_short", 0, 28, 4),
+    ("nolds_icfull", 0, 256, 2),
+    ("lds_512", 512, 44, 3),
+    ("lds_1k", 1024, 90, 2),
+    ("lds_2k", 2048, 128, 3),
+    ("lds_4k", 4096, 256, 2),
+    ("lds_6k", 6144, 256, 1),
+    ("lds_3k_mixed", 3072, 180, 4),
+]
+
+
+def _survey_kernel(
+    layout: Layout,
+    app_suffix: str,
+    index: int,
+    lds_bytes: int,
+    static_lines: int,
+    scale: float,
+) -> KernelSpec:
+    touches = max(2, int(round(16 * scale)))
+
+    def factory(ctx: ProgramContext) -> Iterable[tuple]:
+        rng = ctx.rng()
+        data = sweep_ops(
+            layout, layout.region_base(0), 1 * MB, touches, rng,
+        )
+
+        def compute():
+            yield alu(200)
+            if lds_bytes:
+                yield lds_op(3)
+            yield alu(200)
+
+        code = code_walk_ops(static_lines, max(3, static_lines // 2), 2)
+        return interleave(prologue_ops(rng), data, compute(), code)
+
+    return KernelSpec(
+        name=f"survey_{app_suffix}_k{index}",
+        num_workgroups=8,
+        waves_per_workgroup=2,
+        lds_bytes_per_workgroup=lds_bytes,
+        static_lines=static_lines,
+        program_factory=factory,
+    )
+
+
+def make_survey_suite(scale: float = 1.0, page_size: int = 4096) -> List[AppSpec]:
+    """The synthetic utilization-survey applications."""
+
+    layout = Layout(page_size)
+    apps = []
+    for suffix, lds_bytes, static_lines, kernel_count in _SURVEY_SHAPES:
+        kernels = tuple(
+            _survey_kernel(layout, suffix, index, lds_bytes, static_lines, scale)
+            for index in range(kernel_count)
+        )
+        apps.append(AppSpec(name=f"survey-{suffix}", kernels=kernels, category="?"))
+    return apps

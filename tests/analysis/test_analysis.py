@@ -1,0 +1,143 @@
+"""Unit tests for the analysis package: tables, charts, summaries."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, series_chart
+from repro.analysis.summary import compare_schemes, counter_diff, speedup_summary
+from repro.analysis.tables import format_csv, format_markdown, format_plain
+from repro.sim.results import SimResult
+
+ROWS = [
+    {"app": "ATAX", "speedup": 2.1774},
+    {"app": "SRAD", "speedup": 0.9941, "note": "flat"},
+]
+
+
+def result(cycles, **counters):
+    return SimResult(app_name="a", scheme="s", cycles=cycles, counters=counters)
+
+
+class TestTables:
+    def test_markdown_shape(self):
+        text = format_markdown(ROWS)
+        lines = text.splitlines()
+        assert lines[0] == "| app | speedup | note |"
+        assert "2.177" in lines[2]
+
+    def test_markdown_explicit_columns(self):
+        text = format_markdown(ROWS, columns=["speedup"])
+        assert "app" not in text
+
+    def test_plain_alignment(self):
+        text = format_plain(ROWS)
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[:2]}) == 1  # header == divider
+
+    def test_plain_missing_cells_blank(self):
+        text = format_plain(ROWS)
+        assert "flat" in text
+
+    def test_csv_round_trip(self):
+        import csv
+        import io
+
+        text = format_csv(ROWS)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["app"] == "ATAX"
+        assert float(parsed[0]["speedup"]) == 2.1774
+
+    def test_float_format_override(self):
+        text = format_plain(ROWS, float_format=".1f")
+        assert "2.2" in text
+
+
+class TestCharts:
+    def test_bar_chart_contains_labels_and_values(self):
+        text = bar_chart({"ATAX": 2.18, "LOW": 0.4}, baseline=1.0)
+        assert "ATAX" in text and "2.180" in text
+        assert "|" in text  # baseline marker on the clearly-shorter bar
+
+    def test_bar_lengths_scale(self):
+        text = bar_chart({"big": 4.0, "small": 1.0}, width=40)
+        big, small = text.splitlines()
+        assert big.count("█") > 3 * small.count("█")
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_bar_chart_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+    def test_series_chart_shape(self):
+        text = series_chart([(512, 1.0), (8192, 1.5), ("2M", 2.6)], height=5)
+        lines = text.splitlines()
+        assert len(lines) == 5 + 3  # bars + divider + labels + numbers
+        assert "2M" in lines[-2]
+
+    def test_series_chart_tallest_column_full(self):
+        text = series_chart([("a", 1.0), ("b", 2.0)], height=4)
+        top = text.splitlines()[0]
+        assert "█" in top
+
+
+class TestSpeedupSummary:
+    def test_basic(self):
+        summary = speedup_summary(
+            {"A": result(200), "B": result(100)},
+            {"A": result(100), "B": result(100)},
+        )
+        assert summary["per_app"]["A"] == 2.0
+        assert summary["best"] == "A"
+        assert summary["worst"] == "B"
+        assert summary["gmean"] == pytest.approx(2.0 ** 0.5)
+
+    def test_categories(self):
+        summary = speedup_summary(
+            {"A": result(300), "B": result(100)},
+            {"A": result(100), "B": result(100)},
+            categories={"A": "H", "B": "L"},
+        )
+        assert summary["category_gmeans"]["H"] == pytest.approx(3.0)
+        assert summary["category_gmeans"]["L"] == 1.0
+
+    def test_mismatched_apps_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_summary({"A": result(1)}, {"B": result(1)})
+
+
+class TestCompareSchemes:
+    def test_rows(self):
+        rows = compare_schemes(
+            {
+                "baseline": {"A": result(200)},
+                "lds": {"A": result(100)},
+                "icache": {"A": result(50)},
+            }
+        )
+        assert rows == [{"app": "A", "lds": 2.0, "icache": 4.0}]
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            compare_schemes({"lds": {}})
+
+
+class TestCounterDiff:
+    def test_reports_largest_changes_first(self):
+        before = result(100, walks=100.0, hits=1000.0)
+        after = result(100, walks=10.0, hits=990.0)
+        diffs = counter_diff(before, after)
+        assert diffs[0][0] == "walks"
+        assert diffs[0][3] == pytest.approx(-0.9)
+
+    def test_prefix_filter(self):
+        before = result(100, **{"a.x": 1.0, "b.y": 1.0})
+        after = result(100, **{"a.x": 2.0, "b.y": 2.0})
+        diffs = counter_diff(before, after, prefixes=["a."])
+        assert [d[0] for d in diffs] == ["a.x"]
+
+    def test_threshold(self):
+        before = result(100, x=1000.0)
+        after = result(100, x=1001.0)
+        assert counter_diff(before, after, min_relative_change=0.01) == []

@@ -1,0 +1,109 @@
+"""Unit tests for the DUCATI comparator."""
+
+import pytest
+
+from repro.config import DRAMConfig, DataCacheConfig, DucatiConfig
+from repro.baselines.ducati import DucatiStore, ducati_reserved_ways
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import SharedL2
+from repro.tlb.base import TranslationEntry
+
+
+def entry(vpn):
+    return TranslationEntry(vpn=vpn, pfn=vpn + 1)
+
+
+@pytest.fixture
+def shared_l2():
+    return SharedL2(DataCacheConfig(), DRAM(DRAMConfig()))
+
+
+@pytest.fixture
+def ducati(shared_l2):
+    return DucatiStore(DucatiConfig(), DataCacheConfig(), shared_l2)
+
+
+class TestReservedWays:
+    def test_quarter_of_sixteen(self):
+        assert ducati_reserved_ways(DucatiConfig(), DataCacheConfig()) == 4
+
+    def test_always_leaves_a_data_way(self):
+        config = DucatiConfig(l2_capacity_fraction=1.0)
+        assert ducati_reserved_ways(config, DataCacheConfig()) == 15
+
+    def test_at_least_one_way(self):
+        config = DucatiConfig(l2_capacity_fraction=0.0)
+        assert ducati_reserved_ways(config, DataCacheConfig()) == 1
+
+
+class TestLookup:
+    def test_cold_miss(self, ducati):
+        found, latency = ducati.lookup(entry(5).key, 0)
+        assert found is None
+        assert latency >= DucatiConfig().l2_tx_latency
+
+    def test_fill_then_l2_hit(self, ducati):
+        e = entry(5)
+        ducati.fill(e)
+        found, latency = ducati.lookup(e.key, 0)
+        assert found == e
+        assert latency < DucatiConfig().pom_tlb_latency
+        assert ducati.stats.get("ducati.l2_hits") == 1
+
+    def test_line_evicted_by_data_falls_back_to_pom(self, ducati, shared_l2):
+        e = entry(5)
+        ducati.fill(e)
+        # Data traffic churns the whole L2, killing the translation line.
+        config = DataCacheConfig()
+        for index in range(3 * config.l2_size_bytes // config.line_bytes):
+            shared_l2.cache.access(index * config.line_bytes)
+        found, latency = ducati.lookup(e.key, 10**6)
+        assert found == e  # the POM copy survives
+        assert latency >= DucatiConfig().pom_tlb_latency
+        assert ducati.stats.get("ducati.pom_hits") == 1
+
+    def test_translation_lines_are_low_priority(self, ducati, shared_l2):
+        # A translation line must die before equally-old data lines do.
+        e = entry(5)
+        ducati.fill(e)
+        line = ducati._line_addr(e.key)
+        cache = shared_l2.cache
+        set_index = (line // cache.line_bytes) % cache.num_sets
+        # Fill the same set with data: the low-priority tx line goes first.
+        for way in range(cache.effective_ways):
+            addr = (set_index + (way + 1) * cache.num_sets) * cache.line_bytes
+            cache.access(addr)
+        assert not cache.probe(line)
+
+    def test_pom_hit_reinstalls_l2_line(self, ducati, shared_l2):
+        e = entry(5)
+        ducati._install_pom(e)
+        ducati._directory[e.key] = e  # directory entry without backing line
+        shared_l2.cache.invalidate_all()
+        ducati.lookup(e.key, 0)  # POM hit, reinstalls
+        found, latency = ducati.lookup(e.key, 10**6)
+        assert found == e
+        assert latency < DucatiConfig().pom_tlb_latency
+
+
+class TestPomCapacity:
+    def test_pom_lru(self, shared_l2):
+        config = DucatiConfig(pom_tlb_entries=2)
+        ducati = DucatiStore(config, DataCacheConfig(), shared_l2)
+        shared_l2.cache.invalidate_all
+        for vpn in range(3):
+            ducati._install_pom(entry(vpn))
+        assert ducati.pom_entry_count == 2
+        shared_l2.cache.invalidate_all()
+        found, _ = ducati.lookup(entry(0).key, 0)
+        assert found is None
+
+
+class TestInvalidation:
+    def test_invalidate_vpn_clears_both_levels(self, ducati):
+        ducati.fill(entry(9))
+        assert ducati.invalidate_vpn(9) >= 1
+        # POM copy is gone too.
+        ducati.shared_l2.cache.invalidate_all()
+        found, _ = ducati.lookup(entry(9).key, 0)
+        assert found is None

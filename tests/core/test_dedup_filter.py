@@ -1,0 +1,76 @@
+"""Unit tests for the shared-fill duplication filter (future-work extension)."""
+
+from dataclasses import replace
+
+from repro.config import ICacheConfig, ICacheTxConfig, LDSConfig, LDSTxConfig, table1_config
+from repro.core.fill_flow import VictimFillFlow
+from repro.core.reconfig_icache import ReconfigurableICache
+from repro.core.reconfig_lds import LDSTxCache
+from repro.core.translation import SharingTracker
+from repro.gpu.lds import LocalDataShare
+from repro.tlb.base import TranslationEntry
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+
+def entry(vpn):
+    return TranslationEntry(vpn=vpn, pfn=vpn + 1)
+
+
+def make_flow(dedup=True):
+    lds_tx = LDSTxCache(LocalDataShare(LDSConfig(), LDSTxConfig()), LDSTxConfig())
+    icache_tx = ReconfigurableICache(ICacheConfig(), ICacheTxConfig())
+    sharing = SharingTracker()
+    flow = VictimFillFlow(
+        SetAssociativeTLB(512, 16),
+        lds_tx=lds_tx,
+        icache_tx=icache_tx,
+        sharing=sharing,
+        dedup_shared=dedup,
+    )
+    return flow, lds_tx, icache_tx, sharing
+
+
+class TestSharingTrackerIsShared:
+    def test_single_cu_not_shared(self):
+        sharing = SharingTracker()
+        sharing.record(0, 5)
+        assert not sharing.is_shared(5)
+
+    def test_two_cus_shared(self):
+        sharing = SharingTracker()
+        sharing.record(0, 5)
+        sharing.record(3, 5)
+        assert sharing.is_shared(5)
+
+    def test_unknown_page(self):
+        assert not SharingTracker().is_shared(99)
+
+
+class TestDedupFilter:
+    def test_private_page_goes_to_lds(self):
+        flow, lds_tx, icache_tx, sharing = make_flow()
+        sharing.record(0, 7)
+        flow.fill(entry(7), 0)
+        assert lds_tx.entry_count == 1
+        assert icache_tx.tx_entry_count() == 0
+
+    def test_shared_page_skips_lds(self):
+        flow, lds_tx, icache_tx, sharing = make_flow()
+        sharing.record(0, 7)
+        sharing.record(1, 7)
+        flow.fill(entry(7), 0)
+        assert lds_tx.entry_count == 0
+        assert icache_tx.tx_entry_count() == 1
+        assert flow.stats.get("fill_flow.lds_skipped_shared") == 1
+
+    def test_filter_disabled_by_default(self):
+        flow, lds_tx, icache_tx, sharing = make_flow(dedup=False)
+        sharing.record(0, 7)
+        sharing.record(1, 7)
+        flow.fill(entry(7), 0)
+        assert lds_tx.entry_count == 1  # no filtering
+
+    def test_config_flag_default_off(self):
+        assert table1_config().dedup_shared_fills is False
+        enabled = replace(table1_config(), dedup_shared_fills=True)
+        assert enabled.dedup_shared_fills

@@ -1,0 +1,123 @@
+"""Unit tests for the Figure 12 victim fill flows."""
+
+import pytest
+
+from repro.config import ICacheConfig, ICacheTxConfig, LDSConfig, LDSTxConfig
+from repro.core.fill_flow import VictimFillFlow
+from repro.core.reconfig_icache import ReconfigurableICache
+from repro.core.reconfig_lds import LDSTxCache
+from repro.gpu.lds import LocalDataShare
+from repro.sim.stats import Stats
+from repro.tlb.base import TranslationEntry
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+
+def entry(vpn):
+    return TranslationEntry(vpn=vpn, pfn=vpn + 1)
+
+
+@pytest.fixture
+def l2_tlb():
+    return SetAssociativeTLB(512, 16)
+
+
+@pytest.fixture
+def lds_tx():
+    lds = LocalDataShare(LDSConfig(), LDSTxConfig())
+    return LDSTxCache(lds, LDSTxConfig())
+
+
+@pytest.fixture
+def icache_tx():
+    return ReconfigurableICache(ICacheConfig(), ICacheTxConfig())
+
+
+class TestBaselineFlow:
+    def test_victims_go_to_l2_tlb(self, l2_tlb):
+        flow = VictimFillFlow(l2_tlb)
+        e = entry(5)
+        flow.fill(e, 0)
+        assert l2_tlb.lookup(e.key) == e
+        assert flow.stats.get("fill_flow.to_l2_tlb") == 1
+
+
+class TestLdsFirstFlow:
+    def test_flow_1_2_4_install_without_victim(self, l2_tlb, lds_tx):
+        flow = VictimFillFlow(l2_tlb, lds_tx=lds_tx)
+        flow.fill(entry(5), 0)
+        assert flow.stats.get("fill_flow.lds_installed") == 1
+        assert l2_tlb.lookup(entry(5).key) is None  # stopped at the LDS
+
+    def test_flow_with_lds_victim_cascades(self, l2_tlb, lds_tx):
+        flow = VictimFillFlow(l2_tlb, lds_tx=lds_tx)
+        stride = lds_tx.num_segments
+        for way in range(4):  # fourth fill displaces the segment LRU
+            flow.fill(entry(5 + way * stride), 0)
+        assert flow.stats.get("fill_flow.lds_installed_with_victim") == 1
+        # The displaced translation landed in the L2 TLB (no I-cache arm).
+        assert l2_tlb.lookup(entry(5).key) is not None
+
+    def test_flow_1_2_3_bypass_on_lds_mode(self, l2_tlb, lds_tx):
+        lds_tx.lds.allocate(lds_tx.lds.config.size_bytes)
+        flow = VictimFillFlow(l2_tlb, lds_tx=lds_tx)
+        flow.fill(entry(5), 0)
+        assert flow.stats.get("fill_flow.lds_bypassed") == 1
+        assert l2_tlb.lookup(entry(5).key) is not None
+
+
+class TestICacheFlow:
+    def test_icache_installed(self, l2_tlb, icache_tx):
+        flow = VictimFillFlow(l2_tlb, icache_tx=icache_tx)
+        flow.fill(entry(7), 0)
+        assert flow.stats.get("fill_flow.icache_installed") == 1
+        assert icache_tx.tx_entry_count() == 1
+
+    def test_icache_bypass_when_line_holds_instructions(self, l2_tlb, icache_tx):
+        for line_addr in range(icache_tx.num_lines):
+            icache_tx.fetch(line_addr, 0)
+        flow = VictimFillFlow(l2_tlb, icache_tx=icache_tx)
+        flow.fill(entry(7), 0)
+        assert flow.stats.get("fill_flow.icache_bypassed") == 1
+        assert l2_tlb.lookup(entry(7).key) is not None
+
+    def test_icache_victim_forwarded_to_l2(self, l2_tlb, icache_tx):
+        flow = VictimFillFlow(l2_tlb, icache_tx=icache_tx)
+        stride = icache_tx.num_lines
+        for index in range(9):  # ninth displaces the line LRU
+            flow.fill(entry(3 + index * stride), 0)
+        assert flow.stats.get("fill_flow.icache_installed_with_victim") == 1
+        assert l2_tlb.lookup(entry(3).key) is not None
+
+
+class TestCombinedFlow:
+    def test_lds_victim_lands_in_icache(self, l2_tlb, lds_tx, icache_tx):
+        flow = VictimFillFlow(l2_tlb, lds_tx=lds_tx, icache_tx=icache_tx)
+        stride = lds_tx.num_segments
+        for way in range(4):
+            flow.fill(entry(5 + way * stride), 0)
+        # The LDS victim continued into the I-cache, not the L2 TLB.
+        assert icache_tx.tx_entry_count() == 1
+        assert l2_tlb.lookup(entry(5).key) is None
+        found, _ = icache_tx.tx_lookup(entry(5).key, 0)
+        assert found is not None
+
+    def test_victim_counter(self, l2_tlb, lds_tx, icache_tx):
+        flow = VictimFillFlow(l2_tlb, lds_tx=lds_tx, icache_tx=icache_tx)
+        for vpn in range(10):
+            flow.fill(entry(vpn), 0)
+        assert flow.stats.get("fill_flow.victims") == 10
+
+    def test_l2_tlb_victim_spills_to_ducati(self, lds_tx):
+        class FakeDucati:
+            def __init__(self):
+                self.filled = []
+
+            def fill(self, entry):
+                self.filled.append(entry)
+
+        tiny_l2 = SetAssociativeTLB(2, 2)
+        ducati = FakeDucati()
+        flow = VictimFillFlow(tiny_l2, ducati=ducati)
+        for vpn in range(3):
+            flow.fill(entry(vpn), 0)
+        assert len(ducati.filled) == 1

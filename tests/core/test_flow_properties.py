@@ -1,0 +1,111 @@
+"""Property-based tests on the victim-chain invariants (Figure 12).
+
+The central correctness property of the reconfigurable design: a
+translation entry is never *duplicated* along one CU's victim chain
+(L1 TLB / LDS Tx / I-cache Tx hold disjoint key sets), and entries are
+only ever dropped through the explicitly-counted loss paths.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TxScheme, table1_config
+from repro.core.translation import SharingTracker, TranslationService
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import SharedL2
+from repro.pagetable.iommu import IOMMU
+from repro.pagetable.page_table import PageTable
+from repro.sim.engine import Port
+from repro.tlb.set_assoc import SetAssociativeTLB
+from repro.core.reconfig_icache import ReconfigurableICache
+from repro.core.reconfig_lds import LDSTxCache
+from repro.gpu.lds import LocalDataShare
+
+
+def build_service(scheme=TxScheme.ICACHE_LDS):
+    config = table1_config(scheme)
+    page_table = PageTable()
+    shared_l2 = SharedL2(config.data_cache, DRAM(config.dram))
+    lds_tx = LDSTxCache(LocalDataShare(config.lds, config.lds_tx), config.lds_tx)
+    icache_tx = ReconfigurableICache(config.icache, config.icache_tx)
+    l2_tlb = SetAssociativeTLB(config.tlb.l2_entries, config.tlb.l2_ways)
+    icache_tx.spill_target = l2_tlb
+    return TranslationService(
+        0,
+        config,
+        page_table,
+        l2_tlb,
+        Port("l2p", units=2, occupancy=2),
+        IOMMU(config.iommu, page_table, shared_l2),
+        SharingTracker(),
+        lds_tx=lds_tx,
+        icache_tx=icache_tx,
+    )
+
+
+def chain_keys(service):
+    l1 = set(service.l1_tlb._entries)
+    lds = {
+        key
+        for segment in service.lds_tx._segments.values()
+        for key in segment
+    }
+    icache = {
+        key
+        for cache_set in service.icache_tx._sets
+        for line in cache_set
+        if line.is_tx and line.tx_entries
+        for key in line.tx_entries
+    }
+    return l1, lds, icache
+
+
+class TestVictimChainInvariants:
+    @given(st.lists(st.integers(0, 4000), min_size=1, max_size=400))
+    @settings(max_examples=20, deadline=None)
+    def test_no_duplicates_along_the_chain(self, vpns):
+        service = build_service()
+        for index, vpn in enumerate(vpns):
+            service.translate(vpn, index * 3)
+        l1, lds, icache = chain_keys(service)
+        assert not (l1 & lds)
+        assert not (l1 & icache)
+        assert not (lds & icache)
+
+    @given(st.lists(st.integers(0, 2000), min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_every_translated_page_still_resolvable(self, vpns):
+        # Nothing in the victim chain may make a page *unresolvable*: a
+        # re-touch must return the same frame the page table assigned.
+        service = build_service()
+        expected = {}
+        for index, vpn in enumerate(vpns):
+            _, pfn = service.translate(vpn, index * 3)
+            if vpn in expected:
+                assert expected[vpn] == pfn
+            expected[vpn] = pfn
+
+    @given(st.lists(st.integers(0, 4000), min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_completion_times_never_precede_request(self, vpns):
+        service = build_service()
+        for index, vpn in enumerate(vpns):
+            now = index * 7
+            done, _ = service.translate(vpn, now)
+            assert done >= now + service.config.tlb.l1_latency
+
+    @given(
+        st.lists(st.integers(0, 4000), min_size=1, max_size=300),
+        st.sampled_from([TxScheme.LDS_ONLY, TxScheme.ICACHE_ONLY,
+                         TxScheme.ICACHE_LDS]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_shootdown_leaves_no_trace(self, vpns, scheme):
+        service = build_service(scheme)
+        for index, vpn in enumerate(vpns):
+            service.translate(vpn, index * 3)
+        for vpn in set(vpns):
+            service.shootdown(vpn)
+        l1, lds, icache = chain_keys(service)
+        remaining = {key[2] for key in l1 | lds | icache}
+        assert not (remaining & set(vpns))

@@ -1,0 +1,144 @@
+"""Unit tests for the reconfigurable LDS Tx victim cache (Section 4.2)."""
+
+import pytest
+
+from repro.config import LDSConfig, LDSTxConfig
+from repro.core.reconfig_lds import LDSTxCache
+from repro.gpu.lds import LocalDataShare, SegmentMode
+from repro.tlb.base import TranslationEntry
+
+
+@pytest.fixture
+def lds():
+    return LocalDataShare(LDSConfig(), LDSTxConfig(), name="lds")
+
+
+@pytest.fixture
+def tx(lds):
+    return LDSTxCache(lds, LDSTxConfig(), name="lds_tx")
+
+
+def entry(vpn, vmid=0):
+    return TranslationEntry(vpn=vpn, pfn=vpn + 1, vmid=vmid)
+
+
+class TestFillAndLookup:
+    def test_fill_into_free_segment(self, tx, lds):
+        accepted, victim = tx.fill(entry(10), now=0)
+        assert accepted and victim is None
+        assert lds.mode[10 % lds.num_segments] == SegmentMode.TX
+        assert tx.entry_count == 1
+
+    def test_lookup_hit_removes_entry(self, tx):
+        e = entry(10)
+        tx.fill(e, 0)
+        found, latency = tx.lookup(e.key, 0)
+        assert found == e
+        assert tx.entry_count == 0
+        assert latency >= LDSTxConfig().tx_hit_latency
+
+    def test_hit_frees_empty_segment(self, tx, lds):
+        e = entry(10)
+        tx.fill(e, 0)
+        tx.lookup(e.key, 0)
+        assert lds.mode[10 % lds.num_segments] == SegmentMode.FREE
+
+    def test_miss_probe_is_cheap(self, tx):
+        found, latency = tx.lookup(entry(99).key, 0)
+        assert found is None
+        assert latency <= LDSTxConfig().tx_probe_latency
+
+    def test_three_way_associativity(self, tx, lds):
+        stride = lds.num_segments
+        for way in range(3):
+            accepted, victim = tx.fill(entry(5 + way * stride), 0)
+            assert accepted and victim is None
+        accepted, victim = tx.fill(entry(5 + 3 * stride), 0)
+        assert accepted
+        assert victim is not None  # LRU displaced
+        assert victim.vpn == 5
+
+    def test_lru_refresh_via_refill(self, tx, lds):
+        stride = lds.num_segments
+        entries = [entry(5 + way * stride) for way in range(3)]
+        for e in entries:
+            tx.fill(e, 0)
+        tx.fill(entries[0], 0)  # refresh
+        _, victim = tx.fill(entry(5 + 3 * stride), 0)
+        assert victim == entries[1]
+
+    def test_fill_rejected_for_lds_mode_segment(self, tx, lds):
+        lds.allocate(lds.config.size_bytes)  # everything app-owned
+        accepted, victim = tx.fill(entry(10), 0)
+        assert not accepted and victim is None
+        assert tx.stats.get("lds_tx.bypass_lds_mode") == 1
+
+    def test_direct_mapped_segment_indexing(self, tx, lds):
+        a, b = entry(3), entry(3 + lds.num_segments)
+        tx.fill(a, 0)
+        tx.fill(b, 0)
+        # Both live in the same segment (set).
+        assert len(tx._segments) == 1
+
+
+class TestModeInteractions:
+    def test_allocation_drops_tx_entries(self, tx, lds):
+        tx.fill(entry(0), 0)  # segment 0
+        lds.allocate(32)  # claims segment 0
+        assert tx.entry_count == 0
+        assert tx.stats.get("lds_tx.dropped_by_allocation") == 1
+
+    def test_lookup_after_reclaim_misses(self, tx, lds):
+        e = entry(0)
+        tx.fill(e, 0)
+        lds.allocate(32)
+        found, _ = tx.lookup(e.key, 0)
+        assert found is None
+
+    def test_capacity_shrinks_with_allocations(self, tx, lds):
+        full = tx.capacity_entries
+        lds.allocate(lds.config.size_bytes // 2)
+        assert tx.capacity_entries == full // 2
+
+
+class TestCompressionInteraction:
+    def test_incompatible_tag_evicts_resident(self, tx, lds):
+        stride = lds.num_segments
+        near = entry(5)
+        # Same segment, tag distance far beyond the 16-bit delta.
+        far = entry(5 + (1 << 30))
+        tx.fill(near, 0)
+        accepted, victim = tx.fill(far, 0)
+        assert accepted
+        assert victim == near
+        assert tx.stats.get("lds_tx.compression_evictions") == 1
+
+    def test_compatible_tags_coexist(self, tx, lds):
+        stride = lds.num_segments
+        tx.fill(entry(5), 0)
+        accepted, victim = tx.fill(entry(5 + stride), 0)
+        assert accepted and victim is None
+
+
+class TestShootdown:
+    def test_invalidate_vpn(self, tx):
+        tx.fill(entry(10), 0)
+        assert tx.invalidate_vpn(10) == 1
+        assert tx.entry_count == 0
+
+    def test_invalidate_missing_vpn(self, tx):
+        assert tx.invalidate_vpn(123) == 0
+
+
+class TestBookkeeping:
+    def test_peak_entries(self, tx, lds):
+        stride = lds.num_segments
+        for index in range(5):
+            tx.fill(entry(index), 0)
+        tx.lookup(entry(0).key, 0)
+        assert tx.peak_entries == 5
+        assert tx.entry_count == 4
+
+    def test_segment_size_64_gives_six_ways(self, lds):
+        config = LDSTxConfig(segment_bytes=64)
+        assert config.ways_per_segment == 6

@@ -1,0 +1,201 @@
+"""Unit tests for the per-CU translation service (Section 4.4 lookup path)."""
+
+import pytest
+
+from repro.config import TxScheme, table1_config
+from repro.core.reconfig_icache import ReconfigurableICache
+from repro.core.reconfig_lds import LDSTxCache
+from repro.core.translation import SharingTracker, TranslationService
+from repro.gpu.lds import LocalDataShare
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import SharedL2
+from repro.pagetable.iommu import IOMMU
+from repro.pagetable.page_table import PageTable
+from repro.sim.engine import Port
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+
+def make_service(scheme=TxScheme.BASELINE, cu_id=0, shared=None):
+    config = table1_config(scheme)
+    if shared is None:
+        page_table = PageTable()
+        shared_l2 = SharedL2(config.data_cache, DRAM(config.dram))
+        shared = {
+            "page_table": page_table,
+            "l2_tlb": SetAssociativeTLB(config.tlb.l2_entries, config.tlb.l2_ways),
+            "l2_port": Port("l2p", units=2, occupancy=2),
+            "iommu": IOMMU(config.iommu, page_table, shared_l2),
+            "sharing": SharingTracker(),
+        }
+    lds_tx = None
+    icache_tx = None
+    if scheme.uses_lds_tx:
+        lds_tx = LDSTxCache(LocalDataShare(config.lds, config.lds_tx), config.lds_tx)
+    if scheme.uses_icache_tx:
+        icache_tx = ReconfigurableICache(config.icache, config.icache_tx)
+    service = TranslationService(
+        cu_id,
+        config,
+        shared["page_table"],
+        shared["l2_tlb"],
+        shared["l2_port"],
+        shared["iommu"],
+        shared["sharing"],
+        lds_tx=lds_tx,
+        icache_tx=icache_tx,
+    )
+    return service, shared
+
+
+class TestBaselinePath:
+    def test_cold_translation_walks(self):
+        service, shared = make_service()
+        done, pfn = service.translate(1234, now=0)
+        assert pfn == shared["page_table"].translate(0, 1234)
+        assert service.stats.get("tx_serviced_by.iommu") == 1
+        assert done > table1_config().tlb.l1_latency
+
+    def test_l1_hit_is_fast(self):
+        service, _ = make_service()
+        service.translate(1234, 0)
+        done, _ = service.translate(1234, 10_000)
+        assert done == 10_000 + table1_config().tlb.l1_latency
+
+    def test_walk_fills_l2_tlb(self):
+        service, shared = make_service()
+        service.translate(1234, 0)
+        assert shared["l2_tlb"].probe((0, 0, 1234))
+
+    def test_l2_services_after_l1_eviction(self):
+        service, _ = make_service()
+        capacity = table1_config().tlb.l1_entries
+        for vpn in range(capacity + 1):
+            service.translate(vpn, 0)
+        service.translate(0, 10**6)  # evicted from L1, still in L2
+        assert service.stats.get("tx_serviced_by.l2_tlb") >= 1
+
+    def test_concurrent_same_page_requests_walk_once(self):
+        # Model contract: structure state updates synchronously at request
+        # time, so an immediately-following request hits the L1 TLB and no
+        # duplicate walk is issued.
+        service, shared = make_service()
+        service.translate(999, 0)
+        service.translate(999, 1)
+        assert shared["iommu"].stats.get("iommu.walks") == 1
+
+    def test_inflight_merge_after_l1_eviction(self):
+        # Evict a page from the L1 while its walk is still outstanding;
+        # the re-touch merges onto the in-flight request instead of being
+        # serviced with a fresh (shorter) latency.
+        service, _ = make_service()
+        first_done, _ = service.translate(999, 0)
+        service.l1_tlb.invalidate((0, 0, 999))
+        merged_done, _ = service.translate(999, 1)
+        # Entry was invalidated from L1 but the walk is in flight: merge.
+        assert merged_done == first_done
+        assert service.stats.get("tx_mshr.merges") == 1
+
+    def test_translations_counted(self):
+        service, _ = make_service()
+        service.translate(1, 0)
+        service.translate(2, 0)
+        assert service.stats.get("translations") == 2
+
+    def test_locality_hits_credit_l1(self):
+        service, _ = make_service()
+        before = service.stats.get("l1_tlb.hits")
+        service.note_locality_hits(5)
+        assert service.stats.get("l1_tlb.hits") == before + 5
+        service.note_locality_hits(0)
+        assert service.stats.get("l1_tlb.hits") == before + 5
+
+
+class TestVictimCachePath:
+    def test_l1_victim_lands_in_lds(self):
+        service, _ = make_service(TxScheme.LDS_ONLY)
+        capacity = table1_config().tlb.l1_entries
+        for vpn in range(capacity + 1):
+            service.translate(vpn, 0)
+        assert service.lds_tx.entry_count >= 1
+
+    def test_lds_hit_promotes_back_to_l1(self):
+        service, _ = make_service(TxScheme.LDS_ONLY)
+        capacity = table1_config().tlb.l1_entries
+        for vpn in range(capacity + 1):
+            service.translate(vpn, vpn * 10)
+        assert service.lds_tx.entry_count >= 1
+        service.translate(0, 10**6)  # vpn 0 was the first L1 victim
+        assert service.stats.get("tx_serviced_by.lds") == 1
+        done, _ = service.translate(0, 2 * 10**6)
+        assert done == 2 * 10**6 + table1_config().tlb.l1_latency  # back in L1
+
+    def test_icache_path_services_victims(self):
+        service, _ = make_service(TxScheme.ICACHE_ONLY)
+        capacity = table1_config().tlb.l1_entries
+        for vpn in range(capacity + 1):
+            service.translate(vpn, 0)
+        service.translate(0, 10**6)
+        assert service.stats.get("tx_serviced_by.icache") == 1
+
+    def test_lookup_order_lds_before_icache(self):
+        service, _ = make_service(TxScheme.ICACHE_LDS)
+        capacity = table1_config().tlb.l1_entries
+        for vpn in range(capacity + 1):
+            service.translate(vpn, 0)
+        # The victim goes to the LDS first; an immediate re-touch must be
+        # served by the LDS, not the I-cache.
+        service.translate(0, 10**6)
+        assert service.stats.get("tx_serviced_by.lds") == 1
+        assert service.stats.get("tx_serviced_by.icache", ) == 0
+
+
+class TestSharingTracker:
+    def test_single_cu_not_shared(self):
+        tracker = SharingTracker()
+        tracker.record(0, 5)
+        tracker.record(0, 5)
+        assert tracker.shared_fraction == 0.0
+
+    def test_cross_cu_sharing(self):
+        tracker = SharingTracker()
+        tracker.record(0, 5)
+        tracker.record(3, 5)
+        tracker.record(0, 6)
+        assert tracker.total_pages == 2
+        assert tracker.shared_pages == 1
+        assert tracker.shared_fraction == 0.5
+
+    def test_translate_records_sharing(self):
+        service_a, shared = make_service(cu_id=0)
+        service_b = TranslationService(
+            1,
+            table1_config(),
+            shared["page_table"],
+            shared["l2_tlb"],
+            shared["l2_port"],
+            shared["iommu"],
+            shared["sharing"],
+        )
+        service_a.translate(42, 0)
+        service_b.translate(42, 0)
+        assert shared["sharing"].shared_pages == 1
+
+
+class TestShootdown:
+    def test_shootdown_clears_every_structure(self):
+        service, _ = make_service(TxScheme.ICACHE_LDS)
+        capacity = table1_config().tlb.l1_entries
+        for vpn in range(capacity + 8):
+            service.translate(vpn, 0)
+        walks_before = shared_walks = service.iommu.stats.get("iommu.walks")
+        total = 0
+        for vpn in range(capacity + 8):
+            total += service.shootdown(vpn)
+        assert total >= capacity
+        # A shot-down page must re-walk (the GPU L2 TLB also cleared by the
+        # system-level shootdown; here only the CU + iommu are cleared, so
+        # clear them explicitly for the assertion).
+        service.l2_tlb.flush()
+        service.iommu.invalidate_vpn(0)
+        service.translate(0, 10**7)
+        assert service.iommu.stats.get("iommu.walks") > walks_before

@@ -1,0 +1,80 @@
+"""Tests for experiment infrastructure: caching, serialization, report."""
+
+import os
+
+import pytest
+
+from repro.config import table1_config
+from repro.experiments import common
+from repro.experiments.report import ALL_EXPERIMENTS
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(common, "_CACHE_DIR", str(tmp_path))
+        common.clear_cache()
+        first = common.run_app("SRAD", table1_config(), scale=0.05)
+        common.clear_cache()  # drop the in-process cache; hit the disk
+        second = common.run_app("SRAD", table1_config(), scale=0.05)
+        assert second.cycles == first.cycles
+        assert second.counters == first.counters
+        assert len(second.kernels) == len(first.kernels)
+        assert second.kernels[0].counters == first.kernels[0].counters
+        common.clear_cache()
+
+    def test_distributions_survive_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(common, "_CACHE_DIR", str(tmp_path))
+        common.clear_cache()
+        first = common.run_app("SRAD", table1_config(), scale=0.05)
+        common.clear_cache()
+        second = common.run_app("SRAD", table1_config(), scale=0.05)
+        assert set(second.distributions) == set(first.distributions)
+        walk = second.distributions["walk_latency"]
+        assert walk is None or walk.count == first.distributions["walk_latency"].count
+        common.clear_cache()
+
+    def test_corrupt_cache_file_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(common, "_CACHE_DIR", str(tmp_path))
+        common.clear_cache()
+        common.run_app("SRAD", table1_config(), scale=0.05)
+        for name in os.listdir(tmp_path):
+            (tmp_path / name).write_text("{broken json")
+        common.clear_cache()
+        result = common.run_app("SRAD", table1_config(), scale=0.05)
+        assert result.cycles > 0
+        common.clear_cache()
+
+    def test_no_cache_mode(self):
+        common.clear_cache()
+        a = common.run_app("SRAD", table1_config(), scale=0.05, use_cache=False)
+        b = common.run_app("SRAD", table1_config(), scale=0.05, use_cache=False)
+        assert a is not b
+        assert a.cycles == b.cycles  # but deterministic
+
+
+class TestConfigSignature:
+    def test_signature_distinguishes_configs(self):
+        a = common._config_signature(table1_config())
+        b = common._config_signature(table1_config().with_l2_tlb_entries(1024))
+        assert a != b
+
+    def test_signature_stable(self):
+        assert common._config_signature(table1_config()) == common._config_signature(
+            table1_config()
+        )
+
+
+class TestReportRegistry:
+    def test_all_experiments_registered(self):
+        # Table 2 + 13 figure harnesses + 6.3.1 + two extra ablations +
+        # the duplication-filter extension.
+        assert len(ALL_EXPERIMENTS) == 18
+
+    def test_paper_order(self):
+        names = [name for name, _ in ALL_EXPERIMENTS]
+        assert names[0] == "Table 2"
+        assert names[-1] == "Extension: dedup filter"
+
+    def test_runners_are_callable(self):
+        for _, runner in ALL_EXPERIMENTS:
+            assert callable(runner)

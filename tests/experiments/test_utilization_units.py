@@ -1,0 +1,51 @@
+"""Simulation-free unit tests for Figure 4/5 utilization helpers."""
+
+from repro.experiments.fig04_05_utilization import _box, kernel_icache_utilization
+from repro.sim.results import KernelResult, SimResult
+
+
+def sim_with_kernels(total_lines, fills_per_kernel):
+    kernels = [
+        KernelResult("k", i, 0, 10, counters={"icache.fills": fills})
+        for i, fills in enumerate(fills_per_kernel)
+    ]
+    return SimResult(
+        app_name="a",
+        scheme="baseline",
+        cycles=10,
+        counters={"icache.total_lines": float(total_lines)},
+        kernels=kernels,
+    )
+
+
+class TestKernelUtilization:
+    def test_equation1(self):
+        sim = sim_with_kernels(512, [256.0, 512.0])
+        assert kernel_icache_utilization(sim) == [0.5, 1.0]
+
+    def test_capped_at_one(self):
+        # Equation 1: fills beyond the line count count as 100%.
+        sim = sim_with_kernels(512, [2048.0])
+        assert kernel_icache_utilization(sim) == [1.0]
+
+    def test_missing_lines_counter(self):
+        sim = sim_with_kernels(0, [100.0])
+        assert kernel_icache_utilization(sim) == []
+
+    def test_kernel_without_fills(self):
+        sim = sim_with_kernels(512, [])
+        sim.kernels.append(KernelResult("k", 0, 0, 10, counters={}))
+        assert kernel_icache_utilization(sim) == [0.0]
+
+
+class TestBoxHelper:
+    def test_empty(self):
+        box = _box([])
+        assert box == {"min": 0.0, "median": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_order_statistics(self):
+        box = _box([3.0, 1.0, 2.0])
+        assert box["min"] == 1.0
+        assert box["median"] == 2.0
+        assert box["max"] == 3.0
+        assert box["mean"] == 2.0

@@ -1,0 +1,109 @@
+"""Unit tests for the PM4-style command processor (Section 7.1)."""
+
+import pytest
+
+from repro.config import TxScheme, table1_config
+from repro.gpu.command_processor import (
+    CommandPacket,
+    CommandProcessor,
+    FLUSH_BROADCAST_CYCLES,
+    INVALIDATE_BROADCAST_CYCLES,
+    PACKET_DECODE_CYCLES,
+    PacketType,
+)
+from repro.system import GPUSystem
+from tests.conftest import make_tiny_app
+
+
+def make_cp(invalidated=None, flushed=None):
+    invalidated = invalidated if invalidated is not None else {}
+    flushed = flushed if flushed is not None else [0]
+
+    def invalidate(vpn):
+        invalidated[vpn] = invalidated.get(vpn, 0) + 1
+        return 2
+
+    def flush():
+        flushed[0] += 1
+        return 7
+
+    return CommandProcessor(invalidate, flush), invalidated, flushed
+
+
+class TestPackets:
+    def test_empty_shootdown_rejected(self):
+        with pytest.raises(ValueError):
+            CommandPacket(PacketType.TLB_SHOOTDOWN)
+
+    def test_flush_packet_needs_no_pages(self):
+        packet = CommandPacket(PacketType.ICACHE_FLUSH)
+        assert packet.vpns == ()
+
+
+class TestProcessing:
+    def test_shootdown_invalidates_each_page(self):
+        cp, invalidated, _ = make_cp()
+        cp.enqueue_shootdown([1, 2, 3])
+        results = cp.drain()
+        assert invalidated == {1: 1, 2: 1, 3: 1}
+        assert results[0].entries_invalidated == 6
+
+    def test_shootdown_timing(self):
+        cp, _, _ = make_cp()
+        cp.enqueue_shootdown([10, 11])
+        result = cp.drain(now=100)[0]
+        assert result.completed_at == (
+            100 + PACKET_DECODE_CYCLES + 2 * INVALIDATE_BROADCAST_CYCLES
+        )
+
+    def test_flush_packet(self):
+        cp, _, flushed = make_cp()
+        cp.enqueue_icache_flush()
+        result = cp.drain(now=0)[0]
+        assert flushed[0] == 1
+        assert result.lines_flushed == 7
+        assert result.completed_at == PACKET_DECODE_CYCLES + FLUSH_BROADCAST_CYCLES
+
+    def test_packets_drain_serially(self):
+        cp, _, _ = make_cp()
+        cp.enqueue_shootdown([1])
+        cp.enqueue_icache_flush()
+        results = cp.drain(now=0)
+        assert len(results) == 2
+        assert results[1].completed_at > results[0].completed_at
+        assert cp.pending == 0
+
+    def test_busy_until_carries_across_drains(self):
+        cp, _, _ = make_cp()
+        cp.enqueue_shootdown([1])
+        first = cp.drain(now=0)[0]
+        cp.enqueue_shootdown([2])
+        second = cp.drain(now=0)[0]  # arrives while processor still busy
+        assert second.completed_at > first.completed_at
+
+    def test_stats(self):
+        cp, _, _ = make_cp()
+        cp.enqueue_shootdown([1, 2])
+        cp.enqueue_icache_flush()
+        cp.drain()
+        assert cp.stats.get("cp.packets_processed") == 2
+        assert cp.stats.get("cp.shootdown_pages") == 2
+        assert cp.stats.get("cp.flush_commands") == 1
+
+
+class TestSystemIntegration:
+    def test_driver_shootdown_clears_structures(self):
+        system = GPUSystem(table1_config(TxScheme.ICACHE_LDS))
+        system.run(make_tiny_app(kernels=1, pages=64))
+        vpns = [(1 << 20) + page for page in range(64)]
+        results = system.driver_shootdown(vpns)
+        assert results[0].entries_invalidated > 0
+        for cu in system.cus:
+            assert len(cu.translation.l1_tlb) == 0
+
+    def test_driver_shootdown_counts_system_shootdowns(self):
+        system = GPUSystem(table1_config())
+        system.run(make_tiny_app(kernels=1, pages=8))
+        system.driver_shootdown([(1 << 20)])
+        assert system.stats.get("shootdowns") == 1
+        assert system.stats.get("cp.packets_processed") == 1

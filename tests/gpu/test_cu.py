@@ -1,0 +1,54 @@
+"""Unit tests for ComputeUnit wave-slot accounting and bulk-DRAM notes."""
+
+import pytest
+
+from repro.config import table1_config
+from repro.system import GPUSystem
+
+
+@pytest.fixture
+def cu(config):
+    return GPUSystem(config).cus[0]
+
+
+class TestWaveSlots:
+    def test_initial_capacity(self, cu, config):
+        assert cu.free_wave_slots == config.gpu.max_waves_per_cu
+
+    def test_claim_picks_least_loaded_simd(self, cu):
+        first = cu.claim_wave_slot()
+        second = cu.claim_wave_slot()
+        assert first != second  # spreads across SIMDs
+
+    def test_claim_release_roundtrip(self, cu, config):
+        simds = [cu.claim_wave_slot() for _ in range(5)]
+        for simd in simds:
+            cu.release_wave_slot(simd)
+        assert cu.free_wave_slots == config.gpu.max_waves_per_cu
+
+    def test_exhaustion_raises(self, cu, config):
+        for _ in range(config.gpu.max_waves_per_cu):
+            cu.claim_wave_slot()
+        with pytest.raises(RuntimeError):
+            cu.claim_wave_slot()
+
+    def test_over_release_raises(self, cu):
+        simd = cu.claim_wave_slot()
+        cu.release_wave_slot(simd)
+        with pytest.raises(RuntimeError):
+            cu.release_wave_slot(simd)
+
+
+class TestBulkDram:
+    def test_bulk_reads_counted(self, cu):
+        before = cu._dram_stats.get("dram.reads")
+        cu.note_bulk_dram(32, is_write=False)
+        assert cu._dram_stats.get("dram.reads") == before + 32
+
+    def test_bulk_writes_counted(self, cu):
+        cu.note_bulk_dram(16, is_write=True)
+        assert cu._dram_stats.get("dram.writes") == 16
+
+    def test_bulk_activates_fractional(self, cu):
+        cu.note_bulk_dram(32, is_write=False)
+        assert cu._dram_stats.get("dram.activates") == pytest.approx(2.0)

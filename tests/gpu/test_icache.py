@@ -1,0 +1,94 @@
+"""Unit tests for the baseline instruction cache."""
+
+import pytest
+
+from repro.config import ICacheConfig
+from repro.gpu.icache import CacheLine, InstructionCache
+
+
+@pytest.fixture
+def icache():
+    return InstructionCache(ICacheConfig(), name="ic")
+
+
+class TestGeometry:
+    def test_table1_geometry(self):
+        config = ICacheConfig()
+        assert config.num_lines == 256
+        assert config.num_sets == 32
+
+    def test_line_construction(self):
+        line = CacheLine()
+        assert not line.valid
+        assert not line.is_tx
+
+
+class TestFetch:
+    def test_miss_then_hit(self, icache):
+        config = ICacheConfig()
+        cold = icache.fetch(0, now=0)
+        warm = icache.fetch(0, now=cold)
+        assert cold == config.tag_latency + config.fill_latency
+        assert warm - cold == config.tag_latency
+
+    def test_miss_counters(self, icache):
+        icache.fetch(0, 0)
+        icache.fetch(0, 100)
+        assert icache.stats.get("ic.misses") == 1
+        assert icache.stats.get("ic.hits") == 1
+        assert icache.stats.get("ic.fills") == 1
+
+    def test_distinct_lines_fill_distinct_slots(self, icache):
+        for line_addr in range(8):
+            icache.fetch(line_addr, 0)
+        assert icache.valid_instruction_lines() == 8
+
+    def test_conflict_eviction_within_set(self, icache):
+        config = ICacheConfig()
+        # ways+1 lines mapping to set 0.
+        for way in range(config.ways + 1):
+            icache.fetch(way * config.num_sets, now=way * 1000)
+        misses = icache.stats.get("ic.misses")
+        icache.fetch(0, now=10**6)  # line 0 was the LRU victim
+        assert icache.stats.get("ic.misses") == misses + 1
+
+    def test_lru_refresh_on_hit(self, icache):
+        config = ICacheConfig()
+        stride = config.num_sets
+        icache.fetch(0, 0)
+        for way in range(1, config.ways):
+            icache.fetch(way * stride, way * 100)
+        icache.fetch(0, 10_000)  # refresh line 0
+        icache.fetch(config.ways * stride, 20_000)  # evicts line `stride`
+        misses = icache.stats.get("ic.misses")
+        icache.fetch(0, 30_000)
+        assert icache.stats.get("ic.misses") == misses  # still resident
+
+    def test_port_serializes_requests(self, icache):
+        first = icache.fetch(0, 0)
+        second = icache.fetch(1, 0)
+        assert second > first - ICacheConfig().fill_latency  # queued behind
+
+
+class TestMaintenance:
+    def test_flush_instructions(self, icache):
+        icache.fetch(0, 0)
+        icache.fetch(1, 0)
+        assert icache.flush_instructions() == 2
+        assert icache.valid_instruction_lines() == 0
+
+    def test_flush_counts_misses_after(self, icache):
+        icache.fetch(0, 0)
+        icache.flush_instructions()
+        misses = icache.stats.get("ic.misses")
+        icache.fetch(0, 1000)
+        assert icache.stats.get("ic.misses") == misses + 1
+
+    def test_baseline_kernel_boundary_is_noop(self, icache):
+        icache.fetch(0, 0)
+        icache.on_kernel_boundary(next_kernel_same=False)
+        assert icache.valid_instruction_lines() == 1
+
+    def test_tx_entry_count_zero_in_baseline(self, icache):
+        icache.fetch(0, 0)
+        assert icache.tx_entry_count() == 0

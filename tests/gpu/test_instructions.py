@@ -1,0 +1,45 @@
+"""Unit tests for macro-op constructors and program helpers."""
+
+import pytest
+
+from repro.gpu.instructions import alu, count_instructions, lds_op, line, mem
+
+
+class TestConstructors:
+    def test_alu(self):
+        assert alu(5) == ("alu", 5)
+
+    def test_alu_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            alu(0)
+
+    def test_lds(self):
+        assert lds_op(3) == ("lds", 3)
+
+    def test_line(self):
+        assert line(7) == ("line", 7)
+
+    def test_mem_defaults(self):
+        op = mem([4, 5])
+        assert op == ("mem", (4, 5), 2, False, 1)
+
+    def test_mem_explicit(self):
+        op = mem((9,), instr_count=32, is_write=True, lines_per_page=4)
+        assert op == ("mem", (9,), 32, True, 4)
+
+    def test_mem_requires_pages(self):
+        with pytest.raises(ValueError):
+            mem([])
+
+    def test_mem_rejects_zero_lines(self):
+        with pytest.raises(ValueError):
+            mem([1], lines_per_page=0)
+
+
+class TestCountInstructions:
+    def test_mixed_program(self):
+        program = [alu(10), mem([1, 2], instr_count=6), lds_op(4), line(0)]
+        assert count_instructions(program) == 20
+
+    def test_line_ops_are_free(self):
+        assert count_instructions([line(0), line(1)]) == 0

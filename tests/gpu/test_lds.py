@@ -1,0 +1,101 @@
+"""Unit tests for the LDS scratchpad and its contiguous allocator."""
+
+import pytest
+
+from repro.config import LDSConfig, LDSTxConfig
+from repro.gpu.lds import LocalDataShare, SegmentMode
+
+
+@pytest.fixture
+def lds():
+    return LocalDataShare(LDSConfig(), LDSTxConfig(), name="lds")
+
+
+class TestGeometry:
+    def test_segment_count(self, lds):
+        assert lds.num_segments == 512  # 16KB / 32B
+
+    def test_initially_free(self, lds):
+        assert lds.allocated_segments == 0
+        assert lds.free_segments == 512
+
+
+class TestAllocation:
+    def test_allocate_marks_lds_mode(self, lds):
+        lds.allocate(1024)
+        assert lds.allocated_segments == 32
+        assert lds.mode[:32] == [SegmentMode.LDS] * 32
+
+    def test_zero_byte_allocation_succeeds(self, lds):
+        alloc = lds.allocate(0)
+        assert alloc is not None
+        assert lds.allocated_segments == 0
+        lds.free(alloc)
+
+    def test_allocation_rounds_up_to_segments(self, lds):
+        lds.allocate(33)  # 2 segments
+        assert lds.allocated_segments == 2
+
+    def test_free_returns_capacity(self, lds):
+        alloc = lds.allocate(4096)
+        lds.free(alloc)
+        assert lds.allocated_segments == 0
+
+    def test_exhaustion(self, lds):
+        assert lds.allocate(LDSConfig().size_bytes) is not None
+        assert lds.allocate(32) is None
+        assert lds.stats.get("lds.allocation_failures") == 1
+
+    def test_can_allocate_is_consistent(self, lds):
+        lds.allocate(LDSConfig().size_bytes - 64)
+        assert lds.can_allocate(64)
+        assert not lds.can_allocate(128)
+
+    def test_contiguity_fragmentation(self, lds):
+        # Allocate three blocks, free the middle: a big request must fail
+        # even though total free space would fit it (contiguous policy).
+        third = LDSConfig().size_bytes // 4
+        a = lds.allocate(third)
+        b = lds.allocate(third)
+        c = lds.allocate(third)
+        assert None not in (a, b, c)
+        lds.free(b)
+        assert not lds.can_allocate(third * 2 - 64)
+        assert lds.can_allocate(third)
+
+    def test_first_fit_reuses_freed_hole(self, lds):
+        a = lds.allocate(1024)
+        b = lds.allocate(1024)
+        lds.free(a)
+        c = lds.allocate(512)
+        start, _ = lds._allocations[c]
+        assert start == 0  # placed in the freed hole
+        lds.free(b)
+        lds.free(c)
+
+    def test_allocation_over_tx_segments_fires_callback(self, lds):
+        reclaimed = []
+        lds.tx_overwrite_callback = reclaimed.append
+        lds.mode[0] = SegmentMode.TX
+        lds.mode[1] = SegmentMode.TX
+        lds.allocate(64)  # claims segments 0 and 1
+        assert reclaimed == [0, 1]
+
+    def test_tx_segments_are_allocatable(self, lds):
+        lds.mode[:] = [SegmentMode.TX] * lds.num_segments
+        assert lds.can_allocate(LDSConfig().size_bytes)
+
+
+class TestAppAccess:
+    def test_access_latency(self, lds):
+        done = lds.app_access(now=5)
+        assert done == 5 + LDSConfig().lds_mode_latency
+
+    def test_port_serializes(self, lds):
+        lds.app_access(0)
+        second = lds.app_access(0)
+        assert second == LDSConfig().lds_mode_latency + LDSConfig().port_occupancy
+
+    def test_access_counted(self, lds):
+        lds.app_access(0)
+        assert lds.stats.get("lds.app_accesses") == 1

@@ -1,0 +1,77 @@
+"""Unit tests for the opt-in next-line I-cache prefetcher (Equation 1)."""
+
+from dataclasses import replace
+
+from repro.config import ICacheConfig, ICacheTxConfig
+from repro.core.reconfig_icache import ReconfigurableICache
+from repro.gpu.icache import InstructionCache
+from repro.tlb.base import TranslationEntry
+
+
+def make(prefetch=True):
+    return InstructionCache(
+        ICacheConfig(next_line_prefetch=prefetch), name="ic"
+    )
+
+
+class TestNextLinePrefetch:
+    def test_miss_prefetches_next_line(self):
+        icache = make()
+        icache.fetch(0, 0)
+        assert icache.stats.get("ic.prefetches") == 1
+        # Line 1 now hits without a demand miss.
+        icache.fetch(1, 100)
+        assert icache.stats.get("ic.misses") == 1
+        assert icache.stats.get("ic.hits") == 1
+
+    def test_prefetch_counts_as_fill_for_equation1(self):
+        icache = make()
+        icache.fetch(0, 0)
+        assert icache.stats.get("ic.fills") == 2  # demand + prefetch
+
+    def test_disabled_by_default(self):
+        icache = InstructionCache(ICacheConfig(), name="ic")
+        icache.fetch(0, 0)
+        assert icache.stats.get("ic.prefetches") == 0
+
+    def test_prefetch_skips_resident_lines(self):
+        icache = make()
+        icache.fetch(1, 0)   # fills 1, prefetches 2
+        icache.fetch(0, 50)  # prefetch target 1 already resident
+        assert icache.stats.get("ic.prefetches") == 1
+
+    def test_streaming_halves_demand_misses(self):
+        with_pf = make(True)
+        without_pf = make(False)
+        for line in range(32):
+            with_pf.fetch(line, line * 100)
+            without_pf.fetch(line, line * 100)
+        assert with_pf.stats.get("ic.misses") <= without_pf.stats.get("ic.misses") / 1.9
+
+
+class TestPrefetchTxInteraction:
+    def test_prefetch_claim_spills_tx_entries(self):
+        config = ICacheConfig(next_line_prefetch=True)
+        icache = ReconfigurableICache(config, ICacheTxConfig(), name="ic")
+        entry = TranslationEntry(vpn=1, pfn=2)  # direct-mapped to line 1
+        icache.tx_fill(entry, 0)
+        assert icache.tx_entry_count() == 1
+        icache.fetch(0, 0)  # demand line 0; prefetch claims line 1's slot?
+        # The prefetch fill uses the instruction-aware policy: with invalid
+        # lines available in the set it must NOT claim the Tx line.
+        assert icache.tx_entry_count() == 1
+
+    def test_prefetch_tx_accounting_consistent(self):
+        config = ICacheConfig(next_line_prefetch=True)
+        icache = ReconfigurableICache(config, ICacheTxConfig(), name="ic")
+        for vpn in range(600):
+            icache.tx_fill(TranslationEntry(vpn=vpn, pfn=vpn), 0)
+        for line in range(300):
+            icache.fetch(line, line)
+        actual = sum(
+            len(line.tx_entries)
+            for cache_set in icache._sets
+            for line in cache_set
+            if line.is_tx and line.tx_entries
+        )
+        assert icache.tx_entry_count() == actual

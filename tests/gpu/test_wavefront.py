@@ -1,0 +1,104 @@
+"""Unit tests for wavefront op execution and the CU wiring it uses."""
+
+import pytest
+
+from repro.config import TxScheme, table1_config
+from repro.gpu.instructions import alu, lds_op, line, mem
+from repro.gpu.wavefront import IB_LINES, Wavefront
+from repro.sim.engine import WaveScheduler
+from repro.system import GPUSystem
+from repro.workloads.base import AppSpec, KernelSpec
+
+
+def run_single_wave(ops, scheme=TxScheme.BASELINE, config=None):
+    """Run one wave with the given ops on a fresh system; returns (system, cycles)."""
+
+    if config is None:
+        config = table1_config(scheme)
+
+    kernel = KernelSpec(
+        name="k", num_workgroups=1, waves_per_workgroup=1,
+        lds_bytes_per_workgroup=256, static_lines=8,
+        program_factory=lambda ctx: iter(list(ops)),
+    )
+    app = AppSpec(name="one", kernels=(kernel,))
+    system = GPUSystem(config)
+    result = system.run(app)
+    return system, result
+
+
+class TestAluOp:
+    def test_alu_advances_time_by_count(self):
+        system, result = run_single_wave([alu(100)])
+        assert result.instructions == 100
+
+    def test_alu_occupies_issue_port(self):
+        system, _ = run_single_wave([alu(50)])
+        busy = [p.busy_cycles for cu in system.cus for p in cu.simd_ports]
+        assert sum(busy) == 50
+
+
+class TestLineOp:
+    def test_first_line_misses_ib_and_fetches(self):
+        system, _ = run_single_wave([line(0)])
+        assert system.stats.get("ib.misses") == 1
+        assert system.stats.get("icache.fills") == 1
+
+    def test_repeat_line_hits_ib(self):
+        system, _ = run_single_wave([line(0), line(0)])
+        assert system.stats.get("ib.hits") == 1
+
+    def test_ib_capacity_eviction(self):
+        # Cycle through IB_LINES+1 lines twice: second pass misses the IB.
+        lines = [line(i) for i in range(IB_LINES + 1)]
+        system, _ = run_single_wave(lines + lines)
+        assert system.stats.get("ib.misses") == 2 * (IB_LINES + 1)
+        # But the I-cache itself still holds them all.
+        assert system.stats.get("icache.hits") == IB_LINES + 1
+
+
+class TestLdsOp:
+    def test_lds_ops_access_scratchpad(self):
+        system, result = run_single_wave([lds_op(4)])
+        assert system.stats.get("lds.app_accesses") == 4
+        assert result.instructions == 4
+
+
+class TestMemOp:
+    def test_mem_translates_unique_pages(self):
+        system, result = run_single_wave([mem((100, 101, 100), 8)])
+        assert system.stats.get("translations") == 2
+        assert result.instructions == 8
+
+    def test_mem_touches_data_hierarchy(self):
+        system, _ = run_single_wave([mem((100,), 4)])
+        assert (
+            system.stats.get("l1_cache.hits") + system.stats.get("l1_cache.misses")
+        ) >= 1
+
+    def test_simt_lockstep_waits_for_slowest_page(self):
+        # One op touching many pages must take at least one walk's latency.
+        vpns = tuple(range(1000, 1032))
+        _, result = run_single_wave([mem(vpns, 32)])
+        assert result.kernels[0].cycles > 400
+
+    def test_write_traffic_reaches_dram(self):
+        system, _ = run_single_wave([mem((55,), 4, is_write=True, lines_per_page=2)])
+        assert system.stats.get("dram.writes") >= 1
+
+    def test_bulk_lines_counted_for_energy_only(self):
+        before_cfg = table1_config()
+        system, _ = run_single_wave([mem((77,), 64, lines_per_page=64)])
+        # 4 timed lines + 60 bulk lines accounted as reads.
+        assert system.stats.get("dram.reads") >= 60
+
+    def test_locality_credit(self):
+        system, _ = run_single_wave([mem((5,), instr_count=81)])
+        # (81 - 1) // 8 = 10 extra L1 hits credited.
+        assert system.stats.get("l1_tlb.hits") == 10
+
+
+class TestUnknownOp:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            run_single_wave([("bogus", 1)])

@@ -1,0 +1,62 @@
+"""Unit tests for WorkGroup completion bookkeeping."""
+
+from repro.gpu.workgroup import WorkGroup
+
+
+class FakeCU:
+    def __init__(self):
+        self.released = []
+        self.lds = self
+
+    def release_wave_slot(self, simd):
+        self.released.append(simd)
+
+    def free(self, alloc_id):
+        self.freed = alloc_id
+
+
+class FakeDispatcher:
+    def __init__(self):
+        self.completions = []
+
+    def workgroup_completed(self, cu, now):
+        self.completions.append(now)
+
+
+class FakeWave:
+    simd_index = 2
+
+
+class TestWorkGroup:
+    def make(self, waves=2, alloc=7):
+        cu = FakeCU()
+        dispatcher = FakeDispatcher()
+        wg = WorkGroup(
+            kernel_name="k", kernel_code_base=0, wg_id=0, cu=cu,
+            dispatcher=dispatcher, lds_alloc_id=alloc, num_waves=waves,
+        )
+        return wg, cu, dispatcher
+
+    def test_completion_after_last_wave(self):
+        wg, cu, dispatcher = self.make(waves=2)
+        wg.wave_done(FakeWave(), 100)
+        assert dispatcher.completions == []
+        wg.wave_done(FakeWave(), 250)
+        assert dispatcher.completions == [250]
+
+    def test_lds_freed_on_completion(self):
+        wg, cu, dispatcher = self.make(waves=1, alloc=42)
+        wg.wave_done(FakeWave(), 10)
+        assert cu.freed == 42
+
+    def test_no_lds_allocation(self):
+        wg, cu, dispatcher = self.make(waves=1, alloc=None)
+        wg.wave_done(FakeWave(), 10)
+        assert not hasattr(cu, "freed")
+        assert dispatcher.completions == [10]
+
+    def test_wave_slots_released_each_time(self):
+        wg, cu, dispatcher = self.make(waves=3)
+        for t in (1, 2, 3):
+            wg.wave_done(FakeWave(), t)
+        assert cu.released == [2, 2, 2]

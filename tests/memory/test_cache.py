@@ -1,0 +1,94 @@
+"""Unit tests for the set-associative data cache."""
+
+import pytest
+
+from repro.memory.cache import SetAssociativeCache
+
+
+def make(size=1024, ways=2, line=64, reserved=0):
+    return SetAssociativeCache(size, ways, line, reserved_ways=reserved)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make()
+        assert not cache.access(0)
+        assert cache.access(0)
+
+    def test_same_line_different_bytes_hit(self):
+        cache = make()
+        cache.access(0)
+        assert cache.access(63)
+        assert not cache.access(64)
+
+    def test_geometry(self):
+        cache = make(size=1024, ways=2, line=64)
+        assert cache.num_sets == 8
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 3, 64)
+
+    def test_lru_within_set(self):
+        cache = make(size=256, ways=2, line=64)  # 2 sets
+        set_stride = cache.num_sets * 64
+        a, b, c = 0, set_stride, 2 * set_stride  # all set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a
+        assert not cache.access(a)
+
+    def test_hit_refreshes_lru(self):
+        cache = make(size=256, ways=2, line=64)
+        stride = cache.num_sets * 64
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)  # refresh
+        cache.access(2 * stride)  # evicts `stride`
+        assert cache.access(0)
+
+    def test_probe_does_not_fill(self):
+        cache = make()
+        assert not cache.probe(128)
+        assert not cache.access(128)
+
+    def test_invalidate_all(self):
+        cache = make()
+        cache.access(0)
+        cache.invalidate_all()
+        assert not cache.probe(0)
+
+    def test_len(self):
+        cache = make()
+        for i in range(4):
+            cache.access(i * 64)
+        assert len(cache) == 4
+
+
+class TestReservedWays:
+    def test_reserved_ways_shrink_data_capacity(self):
+        cache = make(size=256, ways=2, line=64, reserved=1)
+        stride = cache.num_sets * 64
+        cache.access(0)
+        cache.access(stride)  # only one effective way: evicts line 0
+        assert not cache.access(0)
+
+    def test_all_ways_reserved_rejected(self):
+        with pytest.raises(ValueError):
+            make(reserved=2)
+
+
+class TestLowPriorityFill:
+    def test_low_priority_line_is_first_victim(self):
+        cache = make(size=256, ways=2, line=64)
+        stride = cache.num_sets * 64
+        cache.fill_low_priority(0)
+        cache.access(stride)
+        cache.access(2 * stride)  # set full: LRU (the low-priority 0) dies
+        assert not cache.probe(0)
+        assert cache.probe(stride)
+
+    def test_low_priority_line_still_hits(self):
+        cache = make()
+        cache.fill_low_priority(0)
+        assert cache.probe(0)

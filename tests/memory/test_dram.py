@@ -1,0 +1,96 @@
+"""Unit tests for the DRAM timing and energy models."""
+
+import pytest
+
+from repro.config import DRAMConfig, DRAMEnergyConfig
+from repro.memory.dram import DRAM
+from repro.memory.energy import DRAMEnergyModel
+from repro.sim.stats import Stats
+
+
+class TestDRAMTiming:
+    def test_access_returns_start_and_completion(self):
+        dram = DRAM(DRAMConfig())
+        start, done = dram.access(0, now=10)
+        assert start == 10
+        assert done > start
+
+    def test_row_miss_costs_more_than_row_hit(self):
+        dram = DRAM(DRAMConfig())
+        _, first = dram.access(0, 0)  # activates the row
+        _, second = dram.access(0, 100_000)  # same bank, row already open
+        assert second - 100_000 < first - 0
+
+    def test_same_bank_back_to_back_queues(self):
+        dram = DRAM(DRAMConfig())
+        dram.access(0, 0)
+        start, _ = dram.access(0, 0)
+        assert start == DRAMConfig().bank_occupancy
+
+    def test_page_aligned_strides_spread_across_banks(self):
+        # The regression this guards: pfn*page_size used to alias every
+        # page-aligned address onto one bank.
+        dram = DRAM(DRAMConfig())
+        for page in range(64):
+            dram.access(page * 4096, 0)
+        assert dram.stats.get("dram.queue_cycles") < 64 * DRAMConfig().bank_occupancy / 2
+
+    def test_read_write_counters(self):
+        dram = DRAM(DRAMConfig())
+        dram.access(0, 0)
+        dram.access(64, 0, is_write=True)
+        assert dram.stats.get("dram.reads") == 1
+        assert dram.stats.get("dram.writes") == 1
+        assert dram.total_accesses == 2
+
+    def test_activate_counted_on_row_change(self):
+        dram = DRAM(DRAMConfig())
+        dram.access(0, 0)
+        dram.access(1 << 22, 10_000)
+        assert dram.stats.get("dram.activates") == 2
+
+
+class TestEnergyModel:
+    def test_zero_traffic_still_burns_background(self):
+        model = DRAMEnergyModel(DRAMEnergyConfig())
+        breakdown = model.estimate(Stats(), cycles=1000)
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.background_nj + breakdown.refresh_nj
+        )
+        assert breakdown.background_nj > 0
+
+    def test_reads_add_energy(self):
+        model = DRAMEnergyModel(DRAMEnergyConfig())
+        stats = Stats()
+        stats.add("dram.reads", 100)
+        with_reads = model.estimate(stats, cycles=0)
+        assert with_reads.read_nj == pytest.approx(100 * DRAMEnergyConfig().read_nj)
+
+    def test_breakdown_sums(self):
+        stats = Stats()
+        stats.add("dram.reads", 10)
+        stats.add("dram.writes", 5)
+        stats.add("dram.activates", 3)
+        breakdown = DRAMEnergyModel(DRAMEnergyConfig()).estimate(stats, cycles=50)
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.read_nj
+            + breakdown.write_nj
+            + breakdown.activate_nj
+            + breakdown.background_nj
+            + breakdown.refresh_nj
+        )
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMEnergyModel(DRAMEnergyConfig()).estimate(Stats(), cycles=-1)
+
+    def test_fewer_walk_reads_means_less_energy(self):
+        # The Figure 13c mechanism in miniature.
+        model = DRAMEnergyModel(DRAMEnergyConfig())
+        heavy, light = Stats(), Stats()
+        heavy.add("dram.reads", 1000)
+        light.add("dram.reads", 700)
+        assert (
+            model.estimate(light, 10_000).total_nj
+            < model.estimate(heavy, 10_000).total_nj
+        )

@@ -1,0 +1,84 @@
+"""Unit tests for the walker and IOMMU (device TLBs, walker pool, queuing)."""
+
+import pytest
+
+from repro.config import DRAMConfig, DataCacheConfig, IOMMUConfig
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import SharedL2
+from repro.pagetable.iommu import IOMMU
+from repro.pagetable.page_table import PageTable
+from repro.pagetable.walker import PageWalker
+from repro.sim.stats import Stats
+
+
+@pytest.fixture
+def shared_l2():
+    return SharedL2(DataCacheConfig(), DRAM(DRAMConfig()))
+
+
+@pytest.fixture
+def iommu(shared_l2):
+    return IOMMU(IOMMUConfig(), PageTable(), shared_l2, stats=Stats())
+
+
+class TestPageWalker:
+    def test_cold_walk_touches_all_levels(self, shared_l2):
+        walker = PageWalker(IOMMUConfig(), PageTable(), shared_l2)
+        latency, pfn = walker.walk(0, 1234, anchor=0)
+        assert pfn == walker.page_table.translate(0, 1234)
+        assert walker.stats.get("walker.pte_accesses") == 4
+        assert latency > 4 * 100  # four serial DRAM accesses
+
+    def test_warm_walk_is_shorter(self, shared_l2):
+        walker = PageWalker(IOMMUConfig(), PageTable(), shared_l2)
+        cold, _ = walker.walk(0, 1234, anchor=0)
+        warm, _ = walker.walk(0, 1235, anchor=10_000)
+        assert warm < cold
+
+    def test_walk_latency_distribution_collected(self, shared_l2):
+        walker = PageWalker(IOMMUConfig(), PageTable(), shared_l2)
+        walker.walk(0, 1, anchor=0)
+        walker.walk(0, 2, anchor=0)
+        assert walker.walk_latency.count == 2
+
+
+class TestIOMMU:
+    def test_cold_translation_walks(self, iommu):
+        latency, entry = iommu.translate(0, 555, anchor=0)
+        assert entry.vpn == 555
+        assert iommu.stats.get("iommu.walks") == 1
+        assert latency > iommu.config.request_overhead
+
+    def test_device_l1_tlb_hit_avoids_walk(self, iommu):
+        iommu.translate(0, 555, anchor=0)
+        latency, _ = iommu.translate(0, 555, anchor=1000)
+        assert iommu.stats.get("iommu.walks") == 1
+        assert latency == (
+            iommu.config.request_overhead + iommu.config.l1_tlb_latency
+        )
+
+    def test_device_l2_tlb_backstops_l1(self, iommu):
+        # Blow out the 32-entry device L1; older entries hit the device L2.
+        for vpn in range(100):
+            iommu.translate(0, vpn, anchor=0)
+        walks_before = iommu.stats.get("iommu.walks")
+        iommu.translate(0, 0, anchor=10**6)
+        assert iommu.stats.get("iommu.walks") == walks_before
+        assert iommu.stats.get("iommu.l2_tlb.hits") >= 1
+
+    def test_walker_pool_queues_under_storm(self, iommu):
+        # Far more concurrent walks than walkers, all at the same anchor.
+        for vpn in range(10_000, 10_000 + 4 * iommu.config.num_walkers):
+            iommu.translate(0, vpn, anchor=0)
+        assert iommu.stats.get("iommu.walk_queue_cycles") > 0
+
+    def test_no_queue_when_spread_out(self, iommu):
+        for index, vpn in enumerate(range(20_000, 20_004)):
+            iommu.translate(0, vpn, anchor=index * 100_000)
+        assert iommu.stats.get("iommu.walk_queue_cycles") == 0
+
+    def test_invalidate_vpn_clears_device_tlbs(self, iommu):
+        iommu.translate(0, 7, anchor=0)
+        assert iommu.invalidate_vpn(7) >= 1
+        iommu.translate(0, 7, anchor=10**6)
+        assert iommu.stats.get("iommu.walks") == 2

@@ -1,0 +1,110 @@
+"""Unit tests for the four-level page table."""
+
+import pytest
+
+from repro.pagetable.page_table import PageTable
+
+
+class TestTranslation:
+    def test_first_touch_allocates(self):
+        table = PageTable()
+        pfn = table.translate(0, 42)
+        assert pfn > 0
+        assert table.is_mapped(0, 42)
+
+    def test_translation_is_stable(self):
+        table = PageTable()
+        assert table.translate(0, 42) == table.translate(0, 42)
+
+    def test_distinct_pages_get_distinct_frames(self):
+        table = PageTable()
+        frames = {table.translate(0, vpn) for vpn in range(1000)}
+        assert len(frames) == 1000
+
+    def test_address_spaces_are_isolated(self):
+        table = PageTable()
+        assert table.translate(0, 7) != table.translate(1, 7)
+
+    def test_negative_vpn_rejected(self):
+        with pytest.raises(ValueError):
+            PageTable().translate(0, -1)
+
+    def test_unmap(self):
+        table = PageTable()
+        table.translate(0, 9)
+        assert table.unmap(0, 9)
+        assert not table.unmap(0, 9)
+        assert not table.is_mapped(0, 9)
+
+    def test_entry_for(self):
+        table = PageTable()
+        entry = table.entry_for(2, 30)
+        assert entry.vpn == 30
+        assert entry.vmid == 2
+        assert entry.pfn == table.translate(2, 30)
+
+    def test_len_counts_mappings(self):
+        table = PageTable()
+        for vpn in range(5):
+            table.translate(0, vpn)
+        assert len(table) == 5
+
+
+class TestPageSizes:
+    def test_4k_walks_four_levels(self):
+        assert PageTable(4096).levels == 4
+
+    def test_64k_walks_four_levels(self):
+        assert PageTable(64 * 1024).levels == 4
+
+    def test_2m_walks_three_levels(self):
+        assert PageTable(2 * 1024 * 1024).levels == 3
+
+    def test_page_offset_bits(self):
+        assert PageTable(4096).page_offset_bits == 12
+        assert PageTable(2 * 1024 * 1024).page_offset_bits == 21
+
+    def test_unsupported_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            PageTable(8192)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            PageTable(5000)
+
+
+class TestWalkAddresses:
+    def test_one_address_per_level(self):
+        table = PageTable()
+        assert len(table.walk_addresses(0, 123)) == 4
+
+    def test_three_levels_for_2m(self):
+        table = PageTable(2 * 1024 * 1024)
+        assert len(table.walk_addresses(0, 123)) == 3
+
+    def test_deterministic(self):
+        a = PageTable().walk_addresses(0, 555)
+        b = PageTable().walk_addresses(0, 555)
+        assert a == b
+
+    def test_adjacent_pages_share_upper_levels(self):
+        table = PageTable()
+        a = table.walk_addresses(0, 1000)
+        b = table.walk_addresses(0, 1001)
+        # Same PGD/PUD/PMD entries, different (or same-line) PTE.
+        assert a[:3] == b[:3]
+
+    def test_distant_pages_diverge_at_the_top(self):
+        table = PageTable()
+        a = table.walk_addresses(0, 0)
+        b = table.walk_addresses(0, 1 << 30)
+        assert a[0] != b[0]
+
+    def test_addresses_live_in_pt_region(self):
+        table = PageTable()
+        for address in table.walk_addresses(0, 77):
+            assert address >= (1 << 36)
+
+    def test_vmid_changes_table_pages(self):
+        table = PageTable()
+        assert table.walk_addresses(0, 5) != table.walk_addresses(1, 5)

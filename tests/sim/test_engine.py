@@ -1,0 +1,171 @@
+"""Unit tests for the Port occupancy model and the WaveScheduler."""
+
+import pytest
+
+from repro.sim.engine import Port, WaveScheduler
+
+
+class TestPort:
+    def test_idle_port_starts_immediately(self):
+        port = Port("p", units=1, occupancy=3)
+        assert port.request(10) == 10
+
+    def test_busy_port_queues(self):
+        port = Port("p", units=1, occupancy=3)
+        port.request(10)
+        assert port.request(10) == 13
+        assert port.request(10) == 16
+
+    def test_multiple_units_serve_in_parallel(self):
+        port = Port("p", units=2, occupancy=5)
+        assert port.request(0) == 0
+        assert port.request(0) == 0
+        assert port.request(0) == 5
+
+    def test_occupancy_override(self):
+        port = Port("p", units=1, occupancy=1)
+        port.request(0, occupancy=100)
+        assert port.request(0) == 100
+
+    def test_busy_cycles_accumulate(self):
+        port = Port("p", units=1, occupancy=4)
+        port.request(0)
+        port.request(0)
+        assert port.busy_cycles == 8
+
+    def test_earliest_free(self):
+        port = Port("p", units=1, occupancy=7)
+        port.request(3)
+        assert port.earliest_free() == 10
+
+    def test_reset(self):
+        port = Port("p", units=2, occupancy=5)
+        port.request(100)
+        port.reset()
+        assert port.request(0) == 0
+        assert port.busy_cycles == 5
+
+    def test_idle_tracking_optional(self):
+        assert Port("p").idle_tracker is None
+        assert Port("p", track_idle=True).idle_tracker is not None
+
+    def test_idle_tracker_records_service_starts(self):
+        port = Port("p", units=1, occupancy=1, track_idle=True)
+        port.request(0)
+        port.request(20)
+        box = port.idle_tracker.box_stats()
+        assert box.minimum == 20
+
+    def test_invalid_units_rejected(self):
+        with pytest.raises(ValueError):
+            Port("p", units=0)
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            Port("p", occupancy=-1)
+
+    def test_request_before_earliest_free_queues(self):
+        # A unit freed at t=10 serves an earlier request at 10, not before.
+        port = Port("p", units=1, occupancy=10)
+        port.request(0)
+        assert port.request(2) == 10
+
+
+class TestWaveScheduler:
+    def test_single_wave_runs_to_completion(self):
+        steps = []
+
+        def step(payload, now):
+            steps.append(now)
+            return now + 5 if len(steps) < 3 else None
+
+        scheduler = WaveScheduler()
+        scheduler.add(0, "w", step)
+        final = scheduler.run()
+        assert steps == [0, 5, 10]
+        assert final == 10
+
+    def test_waves_interleave_in_time_order(self):
+        order = []
+
+        def make(name, period, count):
+            remaining = [count]
+
+            def step(payload, now):
+                order.append((now, name))
+                remaining[0] -= 1
+                return now + period if remaining[0] else None
+
+            return step
+
+        scheduler = WaveScheduler()
+        scheduler.add(0, "a", make("a", 10, 3))
+        scheduler.add(0, "b", make("b", 4, 5))
+        scheduler.run()
+        times = [t for t, _ in order]
+        assert times == sorted(times)
+
+    def test_final_time_is_last_event(self):
+        def step(payload, now):
+            return None
+
+        scheduler = WaveScheduler()
+        scheduler.add(42, "w", step)
+        assert scheduler.run() == 42
+
+    def test_deterministic_tiebreak_by_insertion(self):
+        order = []
+
+        def make(name):
+            def step(payload, now):
+                order.append(name)
+                return None
+
+            return step
+
+        scheduler = WaveScheduler()
+        for name in ("first", "second", "third"):
+            scheduler.add(7, name, make(name))
+        scheduler.run()
+        assert order == ["first", "second", "third"]
+
+    def test_step_returning_past_time_is_clamped(self):
+        times = []
+
+        def step(payload, now):
+            times.append(now)
+            if len(times) == 1:
+                return now - 100  # misbehaving step
+            return None
+
+        scheduler = WaveScheduler()
+        scheduler.add(50, "w", step)
+        scheduler.run()
+        assert times == [50, 50]
+
+    def test_empty_scheduler_runs_to_now(self):
+        scheduler = WaveScheduler()
+        scheduler.now = 9
+        assert scheduler.run() == 9
+
+    def test_waves_added_mid_run(self):
+        spawned = []
+
+        def child(payload, now):
+            spawned.append(now)
+            return None
+
+        def parent(payload, now):
+            scheduler.add(now + 3, "child", child)
+            return None
+
+        scheduler = WaveScheduler()
+        scheduler.add(0, "parent", parent)
+        final = scheduler.run()
+        assert spawned == [3]
+        assert final == 3
+
+    def test_len_counts_pending(self):
+        scheduler = WaveScheduler()
+        scheduler.add(0, "w", lambda payload, now: None)
+        assert len(scheduler) == 1

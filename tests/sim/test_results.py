@@ -1,0 +1,63 @@
+"""Unit tests for result records and summary helpers."""
+
+import pytest
+
+from repro.sim.results import KernelResult, SimResult, geomean, speedup
+
+
+def make_result(cycles=1000, **counters):
+    return SimResult(app_name="app", scheme="baseline", cycles=cycles, counters=counters)
+
+
+class TestSimResult:
+    def test_counter_default(self):
+        assert make_result().counter("missing", 7.0) == 7.0
+
+    def test_ptw_pki(self):
+        result = make_result(**{"instructions": 2000.0, "iommu.walks": 10.0})
+        assert result.ptw_pki == 5.0
+
+    def test_ptw_pki_no_instructions(self):
+        assert make_result().ptw_pki == 0.0
+
+    def test_hit_ratio(self):
+        result = make_result(**{"l1_tlb.hits": 30.0, "l1_tlb.misses": 10.0})
+        assert result.hit_ratio("l1_tlb") == 0.75
+
+    def test_hit_ratio_empty(self):
+        assert make_result().hit_ratio("l1_tlb") == 0.0
+
+    def test_page_walks_counter(self):
+        result = make_result(**{"iommu.walks": 17.0})
+        assert result.page_walks == 17.0
+
+
+class TestKernelResult:
+    def test_cycles(self):
+        kernel = KernelResult("k", 0, start_cycle=10, end_cycle=35)
+        assert kernel.cycles == 25
+
+
+class TestSpeedup:
+    def test_faster_candidate(self):
+        assert speedup(make_result(2000), make_result(1000)) == 2.0
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(make_result(10), make_result(0))
+
+
+class TestGeomean:
+    def test_identity(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,146 @@
+"""Unit tests for the statistics primitives."""
+
+import pytest
+
+from repro.sim.stats import BoxStats, Distribution, PortIdleTracker, Stats
+
+
+class TestStats:
+    def test_add_and_get(self):
+        stats = Stats()
+        stats.add("hits")
+        stats.add("hits", 2)
+        assert stats.get("hits") == 3
+
+    def test_missing_counter_is_zero(self):
+        assert Stats().get("nope") == 0.0
+
+    def test_getitem(self):
+        stats = Stats()
+        stats.add("x", 5)
+        assert stats["x"] == 5
+
+    def test_contains(self):
+        stats = Stats()
+        stats.add("present")
+        assert "present" in stats
+        assert "absent" not in stats
+
+    def test_set_overwrites(self):
+        stats = Stats()
+        stats.add("v", 10)
+        stats.set("v", 3)
+        assert stats.get("v") == 3
+
+    def test_snapshot_delta(self):
+        stats = Stats()
+        stats.add("a", 1)
+        snap = stats.snapshot()
+        stats.add("a", 2)
+        stats.add("b", 5)
+        delta = stats.delta_since(snap)
+        assert delta == {"a": 2, "b": 5}
+
+    def test_delta_omits_unchanged(self):
+        stats = Stats()
+        stats.add("same", 4)
+        snap = stats.snapshot()
+        assert stats.delta_since(snap) == {}
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_ratio(self):
+        stats = Stats()
+        stats.add("hits", 3)
+        stats.add("misses", 1)
+        assert stats.ratio("hits", "misses") == 3.0
+
+    def test_ratio_zero_denominator(self):
+        assert Stats().ratio("hits", "misses") == 0.0
+
+    def test_names_sorted(self):
+        stats = Stats()
+        stats.add("b")
+        stats.add("a")
+        assert stats.names() == ["a", "b"]
+
+
+class TestDistribution:
+    def test_empty_box_stats(self):
+        assert Distribution().box_stats() is None
+
+    def test_single_sample(self):
+        dist = Distribution()
+        dist.add(5.0)
+        box = dist.box_stats()
+        assert box.minimum == box.maximum == box.median == 5.0
+        assert box.count == 1
+
+    def test_quartiles_of_uniform_range(self):
+        dist = Distribution()
+        dist.extend(range(101))  # 0..100
+        box = dist.box_stats()
+        assert box.minimum == 0
+        assert box.maximum == 100
+        assert box.median == pytest.approx(50)
+        assert box.q1 == pytest.approx(25)
+        assert box.q3 == pytest.approx(75)
+        assert box.iqr == pytest.approx(50)
+
+    def test_mean_tracks_all_samples_past_cap(self):
+        dist = Distribution(max_samples=10)
+        dist.extend([10.0] * 100)
+        assert dist.mean == 10.0
+        assert dist.count == 100
+
+    def test_overflow_decimation_keeps_bounded(self):
+        dist = Distribution(max_samples=8)
+        dist.extend(range(1000))
+        assert len(dist._samples) == 8
+        assert dist.count == 1000
+
+    def test_box_stats_is_frozen_dataclass(self):
+        box = BoxStats(1, 0, 0, 0, 0, 0, 0)
+        with pytest.raises(Exception):
+            box.count = 2  # type: ignore[misc]
+
+
+class TestPortIdleTracker:
+    def test_first_access_produces_no_gap(self):
+        tracker = PortIdleTracker()
+        tracker.record_access(100)
+        assert tracker.box_stats() is None
+        assert tracker.accesses == 1
+
+    def test_gaps_between_accesses(self):
+        tracker = PortIdleTracker()
+        for cycle in (0, 10, 25):
+            tracker.record_access(cycle)
+        box = tracker.box_stats()
+        assert box.count == 2
+        assert box.minimum == 10
+        assert box.maximum == 15
+
+    def test_same_cycle_access_ignored_for_gaps(self):
+        tracker = PortIdleTracker()
+        tracker.record_access(5)
+        tracker.record_access(5)
+        tracker.record_access(7)
+        box = tracker.box_stats()
+        assert box.count == 1
+        assert box.minimum == 2
+
+    def test_out_of_order_access_does_not_regress_clock(self):
+        tracker = PortIdleTracker()
+        tracker.record_access(10)
+        tracker.record_access(3)  # late-arriving earlier event
+        tracker.record_access(12)
+        box = tracker.box_stats()
+        assert box.maximum == 2

@@ -1,0 +1,98 @@
+"""Tests for optional execution tracing."""
+
+import json
+
+import pytest
+
+from repro.config import table1_config
+from repro.sim.trace import ExecutionTracer, TraceEvent
+from repro.system import GPUSystem
+from tests.conftest import make_tiny_app
+
+
+class TestTracerUnit:
+    def test_record_and_len(self):
+        tracer = ExecutionTracer()
+        tracer.record(0, 1, "k", 2, "alu", 10, 20)
+        assert len(tracer) == 1
+        event = tracer.events[0]
+        assert event.duration == 10
+        assert event.op_kind == "alu"
+
+    def test_bounded(self):
+        tracer = ExecutionTracer(max_events=2)
+        for index in range(5):
+            tracer.record(0, 0, "k", 0, "alu", index, index + 1)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ExecutionTracer(max_events=0)
+
+    def test_by_kind_totals(self):
+        tracer = ExecutionTracer()
+        tracer.record(0, 0, "k", 0, "alu", 0, 5)
+        tracer.record(0, 0, "k", 0, "alu", 5, 7)
+        tracer.record(0, 0, "k", 0, "mem", 0, 100)
+        assert tracer.by_kind() == {"alu": 7, "mem": 100}
+
+    def test_slowest(self):
+        tracer = ExecutionTracer()
+        tracer.record(0, 0, "k", 0, "alu", 0, 5)
+        tracer.record(0, 0, "k", 0, "mem", 0, 500)
+        assert tracer.slowest(1)[0].op_kind == "mem"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = ExecutionTracer()
+        tracer.record(3, 1, "k", 7, "line", 2, 4)
+        path = tmp_path / "trace.jsonl"
+        tracer.to_jsonl(str(path))
+        payload = json.loads(path.read_text().strip())
+        assert payload["cu_id"] == 3
+        assert payload["op_kind"] == "line"
+
+    def test_jsonl_string(self):
+        tracer = ExecutionTracer()
+        tracer.record(0, 0, "k", 0, "alu", 0, 1)
+        assert '"op_kind": "alu"' in tracer.to_jsonl()
+
+
+class TestSystemTracing:
+    def test_untraced_run_records_nothing(self, config, tiny_app):
+        system = GPUSystem(config)
+        system.run(tiny_app)  # no tracer attached: must not crash
+
+    def test_traced_run_captures_every_op(self, config):
+        system = GPUSystem(config)
+        tracer = ExecutionTracer()
+        system.attach_tracer(tracer)
+        app = make_tiny_app(kernels=1, num_workgroups=2, waves_per_workgroup=1)
+        system.run(app)
+        assert len(tracer) > 0
+        kinds = {event.op_kind for event in tracer.events}
+        assert {"alu", "mem", "line"} <= kinds
+
+    def test_event_times_sane(self, config):
+        system = GPUSystem(config)
+        tracer = ExecutionTracer()
+        system.attach_tracer(tracer)
+        system.run(make_tiny_app(kernels=1))
+        assert all(e.completed_at >= e.issued_at for e in tracer.events)
+
+    def test_by_cu_filter(self, config):
+        system = GPUSystem(config)
+        tracer = ExecutionTracer()
+        system.attach_tracer(tracer)
+        system.run(make_tiny_app(kernels=1, num_workgroups=16))
+        cu0 = tracer.for_cu(0)
+        assert cu0
+        assert all(e.cu_id == 0 for e in cu0)
+
+    def test_detach(self, config):
+        system = GPUSystem(config)
+        tracer = ExecutionTracer()
+        system.attach_tracer(tracer)
+        system.attach_tracer(None)
+        system.run(make_tiny_app(kernels=1))
+        assert len(tracer) == 0

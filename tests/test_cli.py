@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NOPE"])
+
+    def test_scheme_choices(self):
+        args = build_parser().parse_args(["run", "SRAD", "--scheme", "icache+lds"])
+        assert args.scheme == "icache+lds"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "SRAD", "--scheme", "warp"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ATAX" in out
+        assert "icache+lds" in out
+
+    def test_run_text(self, capsys):
+        assert main(["run", "SRAD", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "PTW-PKI" in out
+        assert "page walks" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "SRAD", "--scale", "0.05", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "SRAD"
+        assert payload["cycles"] > 0
+
+    def test_run_with_scheme_and_page_size(self, capsys):
+        assert main([
+            "run", "SRAD", "--scale", "0.05",
+            "--scheme", "lds", "--page-size", "65536",
+        ]) == 0
+        assert "'lds'" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "SRAD", "--scale", "0.05", "--schemes", "lds",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "█" in out  # the bar chart
+
+    def test_config_print(self, capsys):
+        assert main(["config", "--scheme", "ducati"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheme"] == "ducati"
+
+    def test_config_file_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "cfg.json"
+        assert main(["config", "--scheme", "icache", "--output", str(path)]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", "SRAD", "--scale", "0.05", "--config", str(path), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheme"] == "icache"
+
+    def test_l2_tlb_override(self, capsys):
+        assert main(["config", "--l2-tlb-entries", "8192"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tlb"]["l2_entries"] == 8192

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs and tells its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "SRAD", "0.05")
+        assert proc.returncode == 0, proc.stderr
+        assert "Speedup:" in proc.stdout
+        assert "Page walks:" in proc.stdout
+
+    def test_quickstart_default_app_arg(self):
+        proc = run_example("quickstart.py", "ATAX", "0.05")
+        assert proc.returncode == 0, proc.stderr
+        assert "ATAX" in proc.stdout
+
+    def test_tlb_reach_study(self):
+        proc = run_example("tlb_reach_study.py", "SSSP", "0.05")
+        assert proc.returncode == 0, proc.stderr
+        assert "perfect" in proc.stdout
+        assert "Category Low" in proc.stdout
+
+    def test_custom_workload(self):
+        proc = run_example("custom_workload.py", "0.05")
+        assert proc.returncode == 0, proc.stderr
+        assert "sparse-solver" in proc.stdout
+        assert "icache+lds" in proc.stdout
+
+    def test_shootdown_demo(self):
+        proc = run_example("shootdown_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Shot down" in proc.stdout
+        assert "invalidated" in proc.stdout

@@ -1,0 +1,102 @@
+"""Tests for the concurrent multi-application scenario (paper Section 7.2)."""
+
+import pytest
+
+from repro.config import TxScheme, table1_config
+from repro.system import GPUSystem
+from tests.conftest import make_tiny_app
+
+
+class TestValidation:
+    def test_partition_count_must_match(self):
+        system = GPUSystem(table1_config())
+        with pytest.raises(ValueError):
+            system.run_concurrent([make_tiny_app()], [[0, 1], [2, 3]])
+
+    def test_partitions_must_be_disjoint(self):
+        system = GPUSystem(table1_config())
+        with pytest.raises(ValueError):
+            system.run_concurrent(
+                [make_tiny_app("a"), make_tiny_app("b")], [[0, 1], [1, 2]]
+            )
+
+    def test_unknown_cu_rejected(self):
+        system = GPUSystem(table1_config())
+        with pytest.raises(ValueError):
+            system.run_concurrent([make_tiny_app()], [[99]])
+
+    def test_empty_partition_rejected(self):
+        system = GPUSystem(table1_config())
+        with pytest.raises(ValueError):
+            system.run_concurrent([make_tiny_app()], [[]])
+
+
+class TestConcurrentExecution:
+    def test_two_apps_complete(self):
+        system = GPUSystem(table1_config())
+        apps = [make_tiny_app("left"), make_tiny_app("right")]
+        results = system.run_concurrent(apps, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert len(results) == 2
+        for result, app in zip(results, apps):
+            assert result.app_name == app.name
+            assert result.cycles > 0
+            assert len(result.kernels) == len(app.kernels)
+
+    def test_kernel_sequencing_per_app(self):
+        system = GPUSystem(table1_config())
+        results = system.run_concurrent(
+            [make_tiny_app("a", kernels=3)], [[0, 1, 2, 3, 4, 5, 6, 7]]
+        )
+        kernels = results[0].kernels
+        for earlier, later in zip(kernels, kernels[1:]):
+            assert later.start_cycle >= earlier.end_cycle
+
+    def test_address_spaces_are_isolated(self):
+        # Identical apps touching identical VPNs: with separate VM-IDs the
+        # pages must NOT be shared (distinct physical mappings, no cross-app
+        # TLB reuse).
+        system = GPUSystem(table1_config())
+        apps = [make_tiny_app("a", kernels=1), make_tiny_app("b", kernels=1)]
+        system.run_concurrent(apps, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        # Both apps touched the same VPNs, so the page table holds two
+        # mappings per page.
+        vpn = 1 << 20
+        assert system.page_table.translate(0, vpn) != system.page_table.translate(1, vpn)
+
+    def test_vmids_assigned_per_partition(self):
+        system = GPUSystem(table1_config())
+        system.run_concurrent(
+            [make_tiny_app("a", kernels=1), make_tiny_app("b", kernels=1)],
+            [[0, 1], [6, 7]],
+        )
+        assert system.cus[0].translation.vmid == 0
+        assert system.cus[7].translation.vmid == 1
+
+    def test_concurrent_with_reconfigurable_scheme(self):
+        system = GPUSystem(table1_config(TxScheme.ICACHE_LDS))
+        apps = [
+            make_tiny_app("a", kernels=1, pages=512, ops_per_wave=12),
+            make_tiny_app("b", kernels=1, pages=512, ops_per_wave=12),
+        ]
+        results = system.run_concurrent(apps, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert all(result.cycles > 0 for result in results)
+        # Each partition's LDS holds only its own app's translations: with
+        # isolated VM-IDs, entries in CUs 0-3 carry vmid 0 only.
+        for cu in system.cus[:4]:
+            lds_tx = cu.translation.lds_tx
+            for segment in lds_tx._segments.values():
+                for key in segment:
+                    assert key[0] == 0
+
+    def test_concurrent_vs_sequential_work_conservation(self):
+        seq_system = GPUSystem(table1_config())
+        seq_a = seq_system.run(make_tiny_app("a", kernels=1))
+        seq_b = seq_system.run(make_tiny_app("b", kernels=1))
+        conc_system = GPUSystem(table1_config())
+        conc_system.run_concurrent(
+            [make_tiny_app("a", kernels=1), make_tiny_app("b", kernels=1)],
+            [[0, 1, 2, 3], [4, 5, 6, 7]],
+        )
+        assert conc_system.stats.get("instructions") == (
+            seq_a.instructions + seq_b.instructions
+        )

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import BaseDeltaCodec
+from repro.pagetable.page_table import PageTable
+from repro.sim.engine import Port
+from repro.sim.stats import Distribution
+from repro.tlb.base import TranslationEntry
+from repro.tlb.fully_assoc import FullyAssociativeTLB
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+vpns = st.integers(min_value=0, max_value=1 << 30)
+
+
+class TestTLBProperties:
+    @given(st.lists(vpns, min_size=1, max_size=200), st.integers(1, 32))
+    @settings(max_examples=50)
+    def test_fully_assoc_capacity_never_exceeded(self, sequence, capacity):
+        tlb = FullyAssociativeTLB(capacity)
+        for vpn in sequence:
+            tlb.insert(TranslationEntry(vpn=vpn, pfn=vpn))
+        assert len(tlb) <= capacity
+
+    @given(st.lists(vpns, min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_most_recent_insert_always_resident(self, sequence):
+        tlb = FullyAssociativeTLB(4)
+        for vpn in sequence:
+            entry = TranslationEntry(vpn=vpn, pfn=vpn)
+            tlb.insert(entry)
+            assert tlb.probe(entry.key)
+
+    @given(st.lists(vpns, min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_eviction_conservation(self, sequence):
+        # fills == evictions + residents for a fully-associative TLB.
+        tlb = FullyAssociativeTLB(8, name="t")
+        evicted = 0
+        for vpn in sequence:
+            if tlb.insert(TranslationEntry(vpn=vpn, pfn=vpn)) is not None:
+                evicted += 1
+        assert tlb.stats.get("t.fills") == evicted + len(tlb)
+
+    @given(st.lists(vpns, min_size=1, max_size=300), st.sampled_from([2, 4, 8]))
+    @settings(max_examples=50)
+    def test_set_assoc_victim_same_set(self, sequence, ways):
+        tlb = SetAssociativeTLB(8 * ways, ways)
+        for vpn in sequence:
+            victim = tlb.insert(TranslationEntry(vpn=vpn, pfn=vpn))
+            if victim is not None:
+                assert victim.vpn % tlb.num_sets == vpn % tlb.num_sets
+
+
+class TestCodecProperties:
+    @given(st.lists(st.integers(0, 1 << 40), max_size=8), st.integers(0, 1 << 40))
+    @settings(max_examples=100)
+    def test_packable_subset_always_packs(self, residents, incoming):
+        codec = BaseDeltaCodec(32, 8)
+        keep = codec.packable_subset(residents, incoming)
+        assert codec.can_pack(keep + [incoming])
+
+    @given(st.lists(st.integers(0, 1 << 40), min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_can_pack_invariant_under_shuffle(self, tags):
+        codec = BaseDeltaCodec(16, 16)
+        shuffled = list(tags)
+        random.Random(0).shuffle(shuffled)
+        assert codec.can_pack(tags) == codec.can_pack(shuffled)
+
+    @given(st.integers(0, 1 << 40), st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_tags_within_delta_always_pack(self, base, offset):
+        codec = BaseDeltaCodec(33, 8)
+        assert codec.can_pack([base, base + offset])
+
+
+class TestPageTableProperties:
+    @given(st.lists(st.tuples(st.integers(0, 3), vpns), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_translation_injective_per_space(self, touches):
+        table = PageTable()
+        seen = {}
+        for vmid, vpn in touches:
+            pfn = table.translate(vmid, vpn)
+            key = (vmid, vpn)
+            if key in seen:
+                assert seen[key] == pfn
+            seen[key] = pfn
+        by_frame = {}
+        for (vmid, vpn), pfn in seen.items():
+            assert by_frame.setdefault(pfn, (vmid, vpn)) == (vmid, vpn)
+
+    @given(vpns, st.sampled_from([4096, 64 * 1024, 2 * 1024 * 1024]))
+    @settings(max_examples=50)
+    def test_walk_addresses_count_matches_levels(self, vpn, page_size):
+        table = PageTable(page_size)
+        assert len(table.walk_addresses(0, vpn)) == table.levels
+
+
+class TestPortProperties:
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=1, max_size=100).map(sorted),
+        st.integers(1, 4),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=50)
+    def test_monotone_requests_get_monotone_starts(self, times, units, occupancy):
+        port = Port("p", units=units, occupancy=occupancy)
+        starts = [port.request(t) for t in times]
+        assert starts == sorted(starts)
+        for requested, start in zip(times, starts):
+            assert start >= requested
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200).map(sorted))
+    @settings(max_examples=50)
+    def test_single_unit_port_never_overlaps(self, times):
+        port = Port("p", units=1, occupancy=5)
+        starts = [port.request(t) for t in times]
+        for earlier, later in zip(starts, starts[1:]):
+            assert later >= earlier + 5
+
+
+class TestDistributionProperties:
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=500))
+    @settings(max_examples=50)
+    def test_box_stats_ordering(self, samples):
+        dist = Distribution()
+        dist.extend(samples)
+        box = dist.box_stats()
+        assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+        assert box.minimum <= box.mean <= box.maximum
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=500))
+    @settings(max_examples=50)
+    def test_mean_exact_regardless_of_decimation(self, samples):
+        dist = Distribution(max_samples=16)
+        dist.extend(samples)
+        assert abs(dist.mean - sum(samples) / len(samples)) < 1e-6 * max(
+            1.0, max(samples)
+        )
+
+
+class TestLdsAllocatorProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 4096)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_alloc_free_never_leaks_segments(self, script):
+        from repro.config import LDSConfig, LDSTxConfig
+        from repro.gpu.lds import LocalDataShare
+
+        lds = LocalDataShare(LDSConfig(), LDSTxConfig())
+        live = []
+        expected = 0
+        for is_alloc, nbytes in script:
+            if is_alloc:
+                alloc = lds.allocate(nbytes)
+                if alloc is not None:
+                    live.append((alloc, lds.segments_needed(nbytes)))
+                    expected += lds.segments_needed(nbytes)
+            elif live:
+                alloc, segments = live.pop()
+                lds.free(alloc)
+                expected -= segments
+            assert lds.allocated_segments == expected
+        for alloc, segments in live:
+            lds.free(alloc)
+        assert lds.allocated_segments == 0
+
+
+class TestVictimCacheProperties:
+    @given(st.lists(st.integers(0, 5000), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_lds_tx_entry_count_matches_contents(self, sequence):
+        from repro.config import LDSConfig, LDSTxConfig
+        from repro.core.reconfig_lds import LDSTxCache
+        from repro.gpu.lds import LocalDataShare
+
+        lds = LocalDataShare(LDSConfig(), LDSTxConfig())
+        tx = LDSTxCache(lds, LDSTxConfig())
+        for vpn in sequence:
+            if vpn % 3 == 0:
+                tx.lookup((0, 0, vpn), 0)
+            else:
+                tx.fill(TranslationEntry(vpn=vpn, pfn=vpn), 0)
+            actual = sum(len(seg) for seg in tx._segments.values())
+            assert tx.entry_count == actual
+
+    @given(st.lists(st.integers(0, 5000), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_icache_tx_count_matches_contents(self, sequence):
+        from repro.config import ICacheConfig, ICacheTxConfig
+        from repro.core.reconfig_icache import ReconfigurableICache
+
+        icache = ReconfigurableICache(ICacheConfig(), ICacheTxConfig())
+        for vpn in sequence:
+            action = vpn % 4
+            if action == 0:
+                icache.tx_lookup((0, 0, vpn), 0)
+            elif action == 1:
+                icache.fetch(vpn % 512, 0)
+            else:
+                icache.tx_fill(TranslationEntry(vpn=vpn, pfn=vpn), 0)
+            actual = sum(
+                len(line.tx_entries)
+                for cache_set in icache._sets
+                for line in cache_set
+                if line.is_tx and line.tx_entries
+            )
+            assert icache.tx_entry_count() == actual

@@ -1,0 +1,172 @@
+"""Integration tests: the assembled GPUSystem end to end."""
+
+import pytest
+
+from repro.config import TxScheme, table1_config
+from repro.system import GPUSystem, simulate
+from tests.conftest import make_tiny_app, make_tiny_kernel
+from repro.workloads.base import AppSpec
+
+
+class TestAssembly:
+    def test_table1_shape(self, config):
+        system = GPUSystem(config)
+        assert len(system.cus) == 8
+        assert len(system.icaches) == 2  # 8 CUs / 4 per I-cache
+        assert system.l2_tlb.capacity == 512
+
+    def test_baseline_has_no_tx_structures(self, config):
+        system = GPUSystem(config)
+        assert all(cu.translation.lds_tx is None for cu in system.cus)
+        assert all(cu.translation.icache_tx is None for cu in system.cus)
+        assert system.ducati is None
+
+    def test_combined_scheme_wiring(self):
+        system = GPUSystem(table1_config(TxScheme.ICACHE_LDS))
+        for cu in system.cus:
+            assert cu.translation.lds_tx is not None
+            assert cu.translation.icache_tx is cu.icache
+
+    def test_cu_groups_share_icache(self):
+        system = GPUSystem(table1_config())
+        assert system.cus[0].icache is system.cus[3].icache
+        assert system.cus[0].icache is not system.cus[4].icache
+
+    def test_ducati_reserves_l2_ways(self):
+        system = GPUSystem(table1_config(TxScheme.DUCATI))
+        assert system.ducati is not None
+        assert system.shared_l2.cache.effective_ways < system.config.data_cache.l2_ways
+
+    def test_invalid_sharer_count_rejected(self):
+        with pytest.raises(ValueError):
+            table1_config().with_icache_sharers(3)
+
+
+class TestRun:
+    def test_tiny_app_completes(self, config, tiny_app):
+        result = GPUSystem(config).run(tiny_app)
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert len(result.kernels) == 2
+
+    def test_kernel_results_are_ordered(self, config, tiny_app):
+        result = GPUSystem(config).run(tiny_app)
+        assert result.kernels[0].end_cycle <= result.kernels[1].start_cycle
+
+    def test_determinism(self, config):
+        a = GPUSystem(config).run(make_tiny_app())
+        b = GPUSystem(table1_config()).run(make_tiny_app())
+        assert a.cycles == b.cycles
+        assert a.counters == b.counters
+
+    def test_simulate_convenience(self, tiny_app):
+        result = simulate(tiny_app)
+        assert result.scheme == "baseline"
+
+    def test_instruction_conservation(self, config):
+        # Instructions executed must match what the programs encode.
+        from repro.gpu.instructions import count_instructions
+        from repro.workloads.base import ProgramContext
+
+        app = make_tiny_app(kernels=1)
+        kernel = app.kernels[0]
+        expected = 0
+        for wg in range(kernel.num_workgroups):
+            for wave in range(kernel.waves_per_workgroup):
+                context = ProgramContext(
+                    app_name=app.name, kernel_name=kernel.name, invocation=0,
+                    wg_id=wg, wave_id=wave,
+                    num_workgroups=kernel.num_workgroups,
+                    waves_per_workgroup=kernel.waves_per_workgroup,
+                )
+                expected += count_instructions(kernel.program_factory(context))
+        result = GPUSystem(config).run(app)
+        assert result.instructions == expected
+
+    def test_energy_counters_present(self, config, tiny_app):
+        result = GPUSystem(config).run(tiny_app)
+        assert result.counter("energy.total_nj") > 0
+
+    def test_distributions_present(self, config, tiny_app):
+        result = GPUSystem(config).run(tiny_app)
+        assert "icache_port_idle" in result.distributions
+        assert "walk_latency" in result.distributions
+
+    def test_per_kernel_counters_sum(self, config, tiny_app):
+        result = GPUSystem(config).run(tiny_app)
+        per_kernel = sum(k.counters.get("instructions", 0) for k in result.kernels)
+        assert per_kernel == result.instructions
+
+
+class TestSchemesEndToEnd:
+    def test_every_scheme_runs(self, tiny_app):
+        for scheme in TxScheme:
+            config = (
+                table1_config().with_perfect_l2_tlb()
+                if scheme is TxScheme.PERFECT_L2_TLB
+                else table1_config(scheme)
+            )
+            result = GPUSystem(config).run(make_tiny_app())
+            assert result.cycles > 0
+            assert result.scheme == scheme.value
+
+    def test_victim_caches_reduce_walks_on_thrashy_app(self):
+        app_kwargs = dict(kernels=1, num_workgroups=16, waves_per_workgroup=4,
+                          pages=3000, ops_per_wave=40)
+        baseline = GPUSystem(table1_config()).run(make_tiny_app(**app_kwargs))
+        combined = GPUSystem(table1_config(TxScheme.ICACHE_LDS)).run(
+            make_tiny_app(**app_kwargs)
+        )
+        assert combined.page_walks <= baseline.page_walks
+
+    def test_perfect_l2_never_walks(self, tiny_app):
+        result = GPUSystem(table1_config().with_perfect_l2_tlb()).run(tiny_app)
+        assert result.page_walks == 0
+
+
+class TestKernelBoundaryBehaviour:
+    def test_flush_applied_between_different_kernels(self):
+        from dataclasses import replace
+
+        config = table1_config(TxScheme.ICACHE_ONLY)
+        config = replace(
+            config,
+            icache_tx=replace(config.icache_tx, flush_on_kernel_boundary=True),
+        )
+        system = GPUSystem(config)
+        system.run(make_tiny_app(kernels=2))
+        assert system.stats.get("icache.instruction_flushes") >= 1
+
+    def test_flush_suppressed_for_b2b(self):
+        from dataclasses import replace
+
+        config = table1_config(TxScheme.ICACHE_ONLY)
+        config = replace(
+            config,
+            icache_tx=replace(config.icache_tx, flush_on_kernel_boundary=True),
+        )
+        kernel = make_tiny_kernel(name="same")
+        app = AppSpec(name="b2b", kernels=(kernel, kernel))
+        system = GPUSystem(config)
+        system.run(app)
+        assert system.stats.get("icache.flush_suppressed") >= 1
+        assert system.stats.get("icache.instruction_flushes", ) == 0
+
+
+class TestShootdown:
+    def test_system_shootdown_invalidates_everywhere(self):
+        system = GPUSystem(table1_config(TxScheme.ICACHE_LDS))
+        system.run(make_tiny_app(kernels=1, pages=16))
+        vpn = (1 << 20) + 1  # a page the tiny app touched
+        count = system.shootdown(vpn)
+        assert count >= 1
+        assert system.stats.get("shootdowns") == 1
+        # Nothing holds the translation any more.
+        key = (0, 0, vpn)
+        assert not system.l2_tlb.probe(key)
+        for cu in system.cus:
+            assert not cu.translation.l1_tlb.probe(key)
+
+    def test_shootdown_of_unknown_page(self):
+        system = GPUSystem(table1_config())
+        assert system.shootdown(999_999_999) == 0

@@ -1,0 +1,64 @@
+"""Unit tests for the access coalescer and in-flight merge table."""
+
+from repro.sim.stats import Stats
+from repro.tlb.coalescer import AccessCoalescer, InFlightTable
+
+
+class TestAccessCoalescer:
+    def test_dedup_preserves_first_touch_order(self):
+        coalescer = AccessCoalescer()
+        assert coalescer.coalesce([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_all_unique(self):
+        coalescer = AccessCoalescer()
+        assert coalescer.coalesce((5, 6, 7)) == [5, 6, 7]
+
+    def test_counts_merged(self):
+        stats = Stats()
+        coalescer = AccessCoalescer(stats=stats, name="c")
+        coalescer.coalesce([1, 1, 1, 2])
+        assert stats.get("c.raw_accesses") == 4
+        assert stats.get("c.coalesced_accesses") == 2
+        assert stats.get("c.merged") == 2
+
+    def test_generator_input(self):
+        coalescer = AccessCoalescer()
+        assert coalescer.coalesce(iter([9, 9, 8])) == [9, 8]
+
+    def test_empty(self):
+        assert AccessCoalescer().coalesce([]) == []
+
+
+class TestInFlightTable:
+    def test_miss_returns_none(self):
+        table = InFlightTable()
+        assert table.check(("k",), 100) is None
+
+    def test_future_completion_merges(self):
+        table = InFlightTable()
+        table.register(("k",), completes_at=500, now=100)
+        assert table.check(("k",), 200) == 500
+
+    def test_past_completion_does_not_merge(self):
+        table = InFlightTable()
+        table.register(("k",), completes_at=150, now=100)
+        assert table.check(("k",), 200) is None
+
+    def test_merge_counted(self):
+        stats = Stats()
+        table = InFlightTable(stats=stats, name="m")
+        table.register(("k",), 500, now=0)
+        table.check(("k",), 100)
+        assert stats.get("m.merges") == 1
+
+    def test_pruning_keeps_table_bounded(self):
+        table = InFlightTable(prune_interval=16)
+        for index in range(20_000):
+            table.register((index,), completes_at=index + 1, now=index)
+        assert len(table) < 10_000
+
+    def test_reregister_updates_completion(self):
+        table = InFlightTable()
+        table.register(("k",), 300, now=0)
+        table.register(("k",), 800, now=400)
+        assert table.check(("k",), 500) == 800

@@ -1,0 +1,178 @@
+"""Unit tests for the TLB structures."""
+
+import pytest
+
+from repro.sim.stats import Stats
+from repro.tlb.base import TranslationEntry
+from repro.tlb.fully_assoc import FullyAssociativeTLB
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+
+def entry(vpn, pfn=None, vmid=0):
+    return TranslationEntry(vpn=vpn, pfn=pfn if pfn is not None else vpn + 100, vmid=vmid)
+
+
+class TestTranslationEntry:
+    def test_key_includes_address_space(self):
+        assert entry(5, vmid=1).key != entry(5, vmid=2).key
+
+    def test_tag_bits_strip_index(self):
+        a = entry(0x1234)
+        assert a.tag_bits(4) == ((0x1234 >> 4) << 4)
+
+    def test_tag_bits_carry_vmid(self):
+        assert entry(8, vmid=1).tag_bits(3) != entry(8, vmid=2).tag_bits(3)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            entry(1).vpn = 2  # type: ignore[misc]
+
+
+class TestFullyAssociativeTLB:
+    def test_miss_then_hit(self):
+        tlb = FullyAssociativeTLB(4)
+        e = entry(1)
+        assert tlb.lookup(e.key) is None
+        tlb.insert(e)
+        assert tlb.lookup(e.key) == e
+
+    def test_lru_eviction_order(self):
+        tlb = FullyAssociativeTLB(2)
+        a, b, c = entry(1), entry(2), entry(3)
+        tlb.insert(a)
+        tlb.insert(b)
+        victim = tlb.insert(c)
+        assert victim == a
+
+    def test_lookup_refreshes_lru(self):
+        tlb = FullyAssociativeTLB(2)
+        a, b, c = entry(1), entry(2), entry(3)
+        tlb.insert(a)
+        tlb.insert(b)
+        tlb.lookup(a.key)
+        victim = tlb.insert(c)
+        assert victim == b
+
+    def test_reinsert_same_key_no_eviction(self):
+        tlb = FullyAssociativeTLB(1)
+        tlb.insert(entry(1))
+        assert tlb.insert(entry(1, pfn=999)) is None
+        assert tlb.lookup(entry(1).key).pfn == 999
+
+    def test_capacity_respected(self):
+        tlb = FullyAssociativeTLB(3)
+        for vpn in range(10):
+            tlb.insert(entry(vpn))
+        assert len(tlb) == 3
+
+    def test_invalidate(self):
+        tlb = FullyAssociativeTLB(4)
+        e = entry(7)
+        tlb.insert(e)
+        assert tlb.invalidate(e.key)
+        assert not tlb.invalidate(e.key)
+        assert tlb.lookup(e.key) is None
+
+    def test_invalidate_vpn_across_address_spaces(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.insert(entry(7, vmid=0))
+        tlb.insert(entry(7, vmid=1))
+        tlb.insert(entry(8))
+        assert tlb.invalidate_vpn(7) == 2
+        assert len(tlb) == 1
+
+    def test_flush(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.insert(entry(1))
+        tlb.insert(entry(2))
+        assert tlb.flush() == 2
+        assert len(tlb) == 0
+
+    def test_probe_does_not_touch_lru_or_stats(self):
+        stats = Stats()
+        tlb = FullyAssociativeTLB(2, stats=stats)
+        a, b, c = entry(1), entry(2), entry(3)
+        tlb.insert(a)
+        tlb.insert(b)
+        hits_before = stats.get("l1_tlb.hits")
+        assert tlb.probe(a.key)
+        assert stats.get("l1_tlb.hits") == hits_before
+        assert tlb.insert(c) == a  # a is still LRU
+
+    def test_stats_counters(self):
+        stats = Stats()
+        tlb = FullyAssociativeTLB(2, name="t", stats=stats)
+        tlb.lookup(entry(1).key)
+        tlb.insert(entry(1))
+        tlb.lookup(entry(1).key)
+        assert stats.get("t.misses") == 1
+        assert stats.get("t.hits") == 1
+        assert stats.get("t.fills") == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeTLB(0)
+
+
+class TestSetAssociativeTLB:
+    def test_basic_miss_hit(self):
+        tlb = SetAssociativeTLB(16, 4)
+        e = entry(5)
+        assert tlb.lookup(e.key) is None
+        tlb.insert(e)
+        assert tlb.lookup(e.key) == e
+
+    def test_set_conflict_evicts_within_set(self):
+        tlb = SetAssociativeTLB(4, 2)  # 2 sets, 2 ways
+        same_set = [entry(0), entry(2), entry(4)]  # vpn % 2 == 0
+        tlb.insert(same_set[0])
+        tlb.insert(same_set[1])
+        victim = tlb.insert(same_set[2])
+        assert victim == same_set[0]
+
+    def test_different_sets_do_not_conflict(self):
+        tlb = SetAssociativeTLB(4, 2)
+        tlb.insert(entry(0))
+        assert tlb.insert(entry(1)) is None
+
+    def test_total_capacity(self):
+        tlb = SetAssociativeTLB(8, 2)
+        for vpn in range(32):
+            tlb.insert(entry(vpn))
+        assert len(tlb) == 8
+
+    def test_entries_not_divisible_by_ways_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTLB(10, 4)
+
+    def test_perfect_mode_always_hits(self):
+        tlb = SetAssociativeTLB(4, 2, perfect=True)
+        result = tlb.lookup((0, 0, 12345))
+        assert result is not None
+        assert result.vpn == 12345
+
+    def test_perfect_mode_ignores_inserts(self):
+        tlb = SetAssociativeTLB(4, 2, perfect=True)
+        assert tlb.insert(entry(1)) is None
+        assert len(tlb) == 0
+
+    def test_invalidate_vpn(self):
+        tlb = SetAssociativeTLB(8, 2)
+        tlb.insert(entry(3))
+        tlb.insert(entry(3, vmid=1))
+        assert tlb.invalidate_vpn(3) == 2
+
+    def test_flush(self):
+        tlb = SetAssociativeTLB(8, 2)
+        for vpn in range(4):
+            tlb.insert(entry(vpn))
+        assert tlb.flush() == 4
+        assert len(tlb) == 0
+
+    def test_lru_within_set_refreshed_by_lookup(self):
+        tlb = SetAssociativeTLB(4, 2)
+        a, b, c = entry(0), entry(2), entry(4)
+        tlb.insert(a)
+        tlb.insert(b)
+        tlb.lookup(a.key)
+        assert tlb.insert(c) == b

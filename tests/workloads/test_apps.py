@@ -1,0 +1,162 @@
+"""Tests for the ten Table 2 application generators and the survey suite."""
+
+import pytest
+
+from repro.gpu.instructions import LDS, MEM, count_instructions
+from repro.workloads.base import ProgramContext
+from repro.workloads.registry import (
+    CATEGORIES,
+    HIGH_APPS,
+    LOW_APPS,
+    MEDIUM_APPS,
+    all_apps,
+    app_names,
+    make_app,
+)
+from repro.workloads.survey import make_survey_suite
+
+SMALL = 0.1
+
+
+def first_wave_ops(app, kernel_index=0):
+    kernel = app.kernels[kernel_index]
+    context = ProgramContext(
+        app_name=app.name, kernel_name=kernel.name, invocation=0,
+        wg_id=0, wave_id=0, num_workgroups=kernel.num_workgroups,
+        waves_per_workgroup=kernel.waves_per_workgroup,
+    )
+    return list(kernel.program_factory(context))
+
+
+class TestRegistry:
+    def test_ten_apps(self):
+        assert len(app_names()) == 10
+
+    def test_categories_cover_all(self):
+        assert set(CATEGORIES) == set(app_names())
+        assert set(HIGH_APPS) == {"ATAX", "GEV", "MVT", "BICG", "GUPS"}
+        assert set(MEDIUM_APPS) == {"NW", "BFS"}
+        assert set(LOW_APPS) == {"SSSP", "PRK", "SRAD"}
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            make_app("NOPE")
+
+    def test_all_apps_builds_everything(self):
+        apps = all_apps(scale=SMALL)
+        assert [app.name for app in apps] == app_names()
+
+
+class TestTable2Structure:
+    """Kernel-count / B2B structure straight from Table 2."""
+
+    @pytest.mark.parametrize(
+        "name,kernels,b2b",
+        [
+            ("ATAX", 2, False),
+            ("GEV", 1, False),
+            ("MVT", 2, False),
+            ("BICG", 2, False),
+            ("GUPS", 3, False),
+            ("BFS", 24, False),
+        ],
+    )
+    def test_kernel_counts(self, name, kernels, b2b):
+        app = make_app(name, scale=SMALL)
+        assert len(app.kernels) == kernels
+        assert app.has_back_to_back_kernels == b2b
+
+    def test_nw_is_back_to_back(self):
+        app = make_app("NW", scale=1.0)
+        assert app.has_back_to_back_kernels
+        assert len(app.unique_kernel_names) == 1
+        assert app.unique_kernel_names[0] == "nw_kernel1"
+        assert len(app.kernels) == 255
+
+    def test_sssp_many_launches_never_b2b(self):
+        app = make_app("SSSP", scale=1.0)
+        assert len(app.kernels) >= 100
+        assert not app.has_back_to_back_kernels
+
+    def test_prk_alternates(self):
+        app = make_app("PRK", scale=1.0)
+        assert not app.has_back_to_back_kernels
+        assert len(app.kernels) == 41
+
+    def test_srad_single_kernel(self):
+        app = make_app("SRAD", scale=SMALL)
+        assert len(app.kernels) == 1
+
+
+class TestLdsUsage:
+    def test_polybench_and_gups_request_no_lds(self):
+        for name in ("ATAX", "GEV", "MVT", "BICG", "GUPS"):
+            app = make_app(name, scale=SMALL)
+            assert all(k.lds_bytes_per_workgroup == 0 for k in app.kernels)
+
+    def test_nw_requests_its_real_lds_footprint(self):
+        app = make_app("NW", scale=SMALL)
+        assert app.kernels[0].lds_bytes_per_workgroup == 2112
+
+    def test_lds_users_emit_lds_ops(self):
+        app = make_app("SRAD", scale=SMALL)
+        ops = first_wave_ops(app)
+        assert any(op[0] == LDS for op in ops)
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("name", app_names())
+    def test_programs_are_deterministic(self, name):
+        a = first_wave_ops(make_app(name, scale=SMALL))
+        b = first_wave_ops(make_app(name, scale=SMALL))
+        assert a == b
+
+    @pytest.mark.parametrize("name", app_names())
+    def test_programs_touch_memory(self, name):
+        ops = first_wave_ops(make_app(name, scale=SMALL))
+        assert any(op[0] == MEM for op in ops)
+        assert count_instructions(ops) > 0
+
+    @pytest.mark.parametrize("name", app_names())
+    def test_page_size_shrinks_unique_pages(self, name):
+        small = first_wave_ops(make_app(name, scale=SMALL, page_size=4096))
+        large = first_wave_ops(make_app(name, scale=SMALL, page_size=2 * 1024 * 1024))
+
+        def unique_pages(ops):
+            return len({vpn for op in ops if op[0] == MEM for vpn in op[1]})
+
+        assert unique_pages(large) <= unique_pages(small)
+
+    def test_scale_reduces_work(self):
+        big = first_wave_ops(make_app("ATAX", scale=1.0))
+        small = first_wave_ops(make_app("ATAX", scale=0.1))
+        assert count_instructions(small) < count_instructions(big)
+
+
+class TestSurveySuite:
+    def test_suite_size(self):
+        assert len(make_survey_suite(scale=SMALL)) == 20
+
+    def test_lds_distribution_shape(self):
+        # Paper: ~70% of surveyed apps request no LDS.
+        suite = make_survey_suite(scale=SMALL)
+        no_lds = [
+            app
+            for app in suite
+            if all(k.lds_bytes_per_workgroup == 0 for k in app.kernels)
+        ]
+        assert 0.6 <= len(no_lds) / len(suite) <= 0.8
+
+    def test_some_apps_fill_the_icache(self):
+        suite = make_survey_suite(scale=SMALL)
+        full = [
+            app
+            for app in suite
+            if any(k.static_lines >= 256 for k in app.kernels)
+        ]
+        assert full  # at least some kernels span the whole 256-line I-cache
+
+    def test_no_app_requests_full_lds(self):
+        for app in make_survey_suite(scale=SMALL):
+            for kernel in app.kernels:
+                assert kernel.lds_bytes_per_workgroup < 16 * 1024

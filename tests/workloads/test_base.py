@@ -1,0 +1,224 @@
+"""Unit tests for workload abstractions and pattern generators."""
+
+import random
+
+import pytest
+
+from repro.gpu.instructions import MEM, count_instructions
+from repro.workloads.base import (
+    AppSpec,
+    KernelSpec,
+    Layout,
+    ProgramContext,
+    blocked_sweep_ops,
+    code_walk_ops,
+    interleave,
+    launch_sequence,
+    prologue_ops,
+    random_ops,
+    stream_ops,
+    sweep_ops,
+)
+
+
+def ctx(wave=0, wg=0, invocation=0):
+    return ProgramContext(
+        app_name="a", kernel_name="k", invocation=invocation,
+        wg_id=wg, wave_id=wave, num_workgroups=4, waves_per_workgroup=2,
+    )
+
+
+class TestProgramContext:
+    def test_global_wave(self):
+        assert ctx(wave=1, wg=2).global_wave == 5
+
+    def test_total_waves(self):
+        assert ctx().total_waves == 8
+
+    def test_rng_deterministic(self):
+        assert ctx().rng().random() == ctx().rng().random()
+
+    def test_rng_varies_by_wave(self):
+        assert ctx(wave=0).rng().random() != ctx(wave=1).rng().random()
+
+    def test_rng_varies_by_invocation(self):
+        assert ctx(invocation=0).rng().random() != ctx(invocation=1).rng().random()
+
+
+class TestSpecs:
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k", 0, 1, 0, 1, lambda c: [])
+
+    def test_app_needs_kernels(self):
+        with pytest.raises(ValueError):
+            AppSpec(name="a", kernels=())
+
+    def test_back_to_back_detection(self):
+        k = KernelSpec("k", 1, 1, 0, 1, lambda c: [])
+        j = KernelSpec("j", 1, 1, 0, 1, lambda c: [])
+        assert AppSpec(name="a", kernels=(k, k)).has_back_to_back_kernels
+        assert not AppSpec(name="a", kernels=(k, j, k)).has_back_to_back_kernels
+
+    def test_unique_kernel_names(self):
+        k = KernelSpec("k", 1, 1, 0, 1, lambda c: [])
+        j = KernelSpec("j", 1, 1, 0, 1, lambda c: [])
+        app = AppSpec(name="a", kernels=(k, j, k))
+        assert app.unique_kernel_names == ["k", "j"]
+
+    def test_launch_sequence_expansion(self):
+        k = KernelSpec("k", 1, 1, 0, 1, lambda c: [])
+        j = KernelSpec("j", 1, 1, 0, 1, lambda c: [])
+        seq = launch_sequence(k, (j, 3), k)
+        assert [spec.name for spec in seq] == ["k", "j", "j", "j", "k"]
+
+
+class TestLayout:
+    def test_page_shift(self):
+        assert Layout(4096).page_shift == 12
+        assert Layout(2 * 1024 * 1024).page_shift == 21
+
+    def test_regions_do_not_overlap(self):
+        layout = Layout()
+        assert layout.region_base(1) - layout.region_base(0) >= (1 << 36) // 2
+
+    def test_region_bases_not_aligned_to_index_period(self):
+        layout = Layout()
+        vpns = {layout.vpn(layout.region_base(i)) % 512 for i in range(4)}
+        assert len(vpns) > 1  # not all aliasing to segment 0
+
+    def test_pages_rounds_up(self):
+        assert Layout(4096).pages(4097) == 2
+        assert Layout(4096).pages(1) == 1
+
+    def test_instr_per_page(self):
+        assert Layout(4096).instr_per_page == 16
+
+
+class TestStreamOps:
+    def test_covers_all_pages_once(self):
+        layout = Layout()
+        ops = list(stream_ops(layout, layout.region_base(0), 64 * 4096))
+        pages = [vpn for op in ops for vpn in op[1]]
+        assert len(pages) == 64
+        assert len(set(pages)) == 64
+
+    def test_instruction_budget_matches_bytes(self):
+        layout = Layout()
+        nbytes = 32 * 4096
+        ops = list(stream_ops(layout, layout.region_base(0), nbytes))
+        assert count_instructions(ops) == nbytes // 256
+
+    def test_lines_per_page_full_page(self):
+        layout = Layout()
+        op = next(iter(stream_ops(layout, layout.region_base(0), 4096)))
+        assert op[4] == 64
+
+    def test_large_pages_split_into_bounded_ops(self):
+        layout = Layout(2 * 1024 * 1024)
+        ops = list(stream_ops(layout, layout.region_base(0), 2 * 1024 * 1024))
+        assert all(op[2] <= 2048 for op in ops)
+        assert count_instructions(ops) == (2 * 1024 * 1024) // 256
+
+
+class TestSweepOps:
+    def test_touch_count(self):
+        layout = Layout()
+        ops = list(sweep_ops(layout, layout.region_base(0), 1 << 20, 100,
+                             random.Random(1)))
+        assert sum(len(op[1]) for op in ops) == 100
+
+    def test_pages_within_working_set(self):
+        layout = Layout()
+        base = layout.region_base(0)
+        ws = 1 << 20  # 256 pages
+        ops = sweep_ops(layout, base, ws, 500, random.Random(2))
+        low, high = layout.vpn(base), layout.vpn(base + ws)
+        for op in ops:
+            for vpn in op[1]:
+                assert low <= vpn <= high
+
+    def test_scattered_touches_move_one_line(self):
+        layout = Layout()
+        op = next(iter(sweep_ops(layout, layout.region_base(0), 1 << 20, 8,
+                                 random.Random(3))))
+        assert op[4] == 1
+
+
+class TestBlockedSweepOps:
+    def test_epochs_visit_different_blocks(self):
+        layout = Layout()
+        base = layout.region_base(0)
+        ops = list(
+            blocked_sweep_ops(
+                layout, base, 4 << 20, 1 << 20,
+                lambda epoch, blocks: epoch, 64, 4, random.Random(4),
+            )
+        )
+        block_ids = {
+            (vpn - layout.vpn(base)) // 256 for op in ops for vpn in op[1]
+        }
+        assert len(block_ids) == 4
+
+    def test_cu_slice_bias(self):
+        layout = Layout()
+        base = layout.region_base(0)
+        ops = list(
+            blocked_sweep_ops(
+                layout, base, 4 << 20, 4 << 20,
+                lambda epoch, blocks: 0, 400, 1, random.Random(5),
+                cu_slice=(0, 4, 1.0),  # all touches in slice 0
+            )
+        )
+        slice_pages = 256  # (4MB / 4) / 4KB
+        for op in ops:
+            for vpn in op[1]:
+                assert vpn - layout.vpn(base) < slice_pages
+
+
+class TestRandomOps:
+    def test_op_count(self):
+        layout = Layout()
+        ops = list(
+            random_ops(layout, layout.region_base(0), 1 << 24, 10, 16,
+                       random.Random(6), instr_per_op=16, alu_per_op=8)
+        )
+        mem_ops = [op for op in ops if op[0] == MEM]
+        assert len(mem_ops) == 10
+        assert all(len(op[1]) == 16 for op in mem_ops)
+
+    def test_write_flag(self):
+        layout = Layout()
+        op = next(iter(random_ops(layout, layout.region_base(0), 1 << 20, 1, 4,
+                                  random.Random(7), instr_per_op=4,
+                                  is_write=True)))
+        assert op[3] is True
+
+
+class TestCodeWalkOps:
+    def test_line_sequence(self):
+        ops = list(code_walk_ops(static_lines=10, body_lines=3, iterations=2))
+        assert [op[1] for op in ops] == [0, 1, 2, 0, 1, 2]
+
+    def test_body_capped_at_static(self):
+        ops = list(code_walk_ops(static_lines=2, body_lines=5, iterations=1))
+        assert max(op[1] for op in ops) <= 1
+
+    def test_zero_iterations(self):
+        assert list(code_walk_ops(5, 3, 0)) == []
+
+
+class TestInterleaveAndPrologue:
+    def test_round_robin(self):
+        merged = list(interleave(iter("ab"), iter("xyz")))
+        assert merged == ["a", "x", "b", "y", "z"]
+
+    def test_prologue_is_single_alu(self):
+        ops = list(prologue_ops(random.Random(8)))
+        assert len(ops) == 1
+        assert ops[0][0] == "alu"
+
+    def test_prologue_varies_with_rng(self):
+        a = list(prologue_ops(random.Random(1)))[0][1]
+        b = list(prologue_ops(random.Random(2)))[0][1]
+        assert a != b

@@ -1,0 +1,82 @@
+"""Tests for NW's block-ownership sweep (the Figure 14a low-sharing fix)."""
+
+import random
+
+from repro.gpu.instructions import MEM
+from repro.workloads.base import Layout
+from repro.workloads.rodinia import (
+    _NW_BLOCK_BYTES,
+    _NW_OWNERS,
+    _NW_WINDOW_BYTES,
+    _nw_owned_sweep,
+)
+
+
+def touched_blocks(ops):
+    return {
+        (vpn * 4096) // _NW_BLOCK_BYTES
+        for op in ops
+        if op[0] == MEM
+        for vpn in op[1]
+    }
+
+
+class TestOwnedSweep:
+    def test_majority_of_touches_stay_in_owned_blocks(self):
+        layout = Layout()
+        base = layout.region_base(0)
+        owner = 3
+        ops = list(
+            _nw_owned_sweep(layout, base, 400, owner, random.Random(1))
+        )
+        in_owned = 0
+        total = 0
+        for op in ops:
+            for vpn in op[1]:
+                total += 1
+                if ((vpn * 4096) // _NW_BLOCK_BYTES) % _NW_OWNERS == owner:
+                    in_owned += 1
+        assert total == 400
+        # 90% owned, 10% boundary-halo touches by construction.
+        assert in_owned / total > 0.8
+
+    def test_halo_touches_cross_owners(self):
+        layout = Layout()
+        base = layout.region_base(0)
+        blocks = touched_blocks(
+            _nw_owned_sweep(layout, base, 2000, 0, random.Random(2))
+        )
+        owners = {block % _NW_OWNERS for block in blocks}
+        assert len(owners) > 1  # halo reaches other owners' blocks
+
+    def test_touches_stay_within_window(self):
+        layout = Layout()
+        base = layout.region_base(0)
+        low = base // _NW_BLOCK_BYTES
+        high = (base + _NW_WINDOW_BYTES) // _NW_BLOCK_BYTES + 1
+        blocks = touched_blocks(
+            _nw_owned_sweep(layout, base, 500, 1, random.Random(3))
+        )
+        assert all(low <= block <= high for block in blocks)
+
+    def test_distinct_owners_concentrate_on_distinct_blocks(self):
+        from collections import Counter
+
+        layout = Layout()
+        base = layout.region_base(0)
+
+        def hottest_block(owner, seed):
+            counts = Counter()
+            for op in _nw_owned_sweep(layout, base, 500, owner, random.Random(seed)):
+                for vpn in op[1]:
+                    counts[(vpn * 4096) // _NW_BLOCK_BYTES] += 1
+            return counts.most_common(1)[0][0]
+
+        assert hottest_block(0, 4) != hottest_block(5, 5)
+
+    def test_owner_with_no_blocks_falls_back(self):
+        # A window smaller than one block still yields valid touches.
+        layout = Layout()
+        base = layout.region_base(0)
+        ops = list(_nw_owned_sweep(layout, base, 16, 7, random.Random(6)))
+        assert sum(len(op[1]) for op in ops) == 16

@@ -1,0 +1,73 @@
+"""Property-based tests on the access-pattern generators."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.instructions import MEM, count_instructions
+from repro.workloads.base import BYTES_PER_MEM_INSTR, Layout, stream_ops, sweep_ops
+
+page_sizes = st.sampled_from([4096, 64 * 1024, 2 * 1024 * 1024])
+
+
+def mem_pages(ops):
+    return [vpn for op in ops if op[0] == MEM for vpn in op[1]]
+
+
+class TestStreamProperties:
+    @given(page_sizes, st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_each_page_covered_exactly_once(self, page_size, num_pages):
+        layout = Layout(page_size)
+        nbytes = num_pages * page_size
+        pages = mem_pages(stream_ops(layout, layout.region_base(0), nbytes))
+        base = layout.vpn(layout.region_base(0))
+        expected = list(range(base, base + num_pages))
+        assert sorted(set(pages)) == expected
+
+    @given(page_sizes, st.integers(1, 32))
+    @settings(max_examples=30)
+    def test_instruction_count_tracks_bytes(self, page_size, num_pages):
+        layout = Layout(page_size)
+        nbytes = num_pages * page_size
+        ops = list(stream_ops(layout, layout.region_base(0), nbytes))
+        assert count_instructions(ops) == nbytes // BYTES_PER_MEM_INSTR
+
+    @given(page_sizes)
+    @settings(max_examples=10)
+    def test_ops_bounded(self, page_size):
+        layout = Layout(page_size)
+        ops = list(stream_ops(layout, layout.region_base(0), 4 * page_size))
+        assert all(op[2] <= 2048 for op in ops if op[0] == MEM)
+
+
+class TestSweepProperties:
+    @given(
+        page_sizes,
+        st.integers(1, 500),
+        st.integers(1, 1 << 24),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30)
+    def test_touch_count_and_bounds(self, page_size, touches, ws_bytes, seed):
+        layout = Layout(page_size)
+        base = layout.region_base(1)
+        ops = list(
+            sweep_ops(layout, base, ws_bytes, touches, random.Random(seed))
+        )
+        pages = mem_pages(ops)
+        assert len(pages) == touches
+        low = layout.vpn(base)
+        high = layout.vpn(base + ws_bytes) + 1
+        assert all(low <= vpn <= high for vpn in pages)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20)
+    def test_deterministic_given_seed(self, seed):
+        layout = Layout()
+        a = list(sweep_ops(layout, layout.region_base(0), 1 << 20, 64,
+                           random.Random(seed)))
+        b = list(sweep_ops(layout, layout.region_base(0), 1 << 20, 64,
+                           random.Random(seed)))
+        assert a == b
