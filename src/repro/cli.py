@@ -7,6 +7,8 @@ Commands:
 - ``compare``  — run several schemes on one application, show speedups.
 - ``config``   — print (or save) a configuration as JSON.
 - ``report``   — regenerate EXPERIMENTS.md (all tables and figures).
+- ``sweep``    — run a named figure's job grid through the parallel
+  sweep runner (``--jobs``, ``--scale``, ``--cache-dir``).
 """
 
 from __future__ import annotations
@@ -145,6 +147,29 @@ def cmd_report(args) -> int:
     return report_main([args.output])
 
 
+def cmd_sweep(args) -> int:
+    from repro.experiments import common
+    from repro.experiments.report import SWEEP_GRIDS
+    from repro.sim.runner import SweepRunner
+
+    if args.cache_dir:
+        common._CACHE_DIR = args.cache_dir
+    grid = SWEEP_GRIDS[args.figure]
+    jobs = grid(args.scale)
+    try:
+        runner = SweepRunner(jobs=args.jobs, progress=print)
+    except ValueError as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 2
+    _, report = runner.run_with_report(jobs)
+    print(
+        f"{args.figure}: {report.jobs_submitted} jobs, "
+        f"{report.unique_jobs} unique, {report.cache_hits} cache hits, "
+        f"{report.jobs_simulated} simulated in {report.wall_clock_s:.2f}s"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +223,26 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
     report_parser.set_defaults(func=cmd_report)
+
+    from repro.experiments.report import SWEEP_GRIDS
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a figure's job grid through the parallel runner"
+    )
+    sweep_parser.add_argument("figure", choices=sorted(SWEEP_GRIDS))
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or all cores; 1 = serial)",
+    )
+    sweep_parser.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale factor (default: REPRO_SCALE or 1.0)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", dest="cache_dir",
+        help="on-disk result cache directory (default: REPRO_CACHE_DIR)",
+    )
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     return parser
 

@@ -24,9 +24,51 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
+from repro.sim.runner import SweepJob, run_sweep
 from repro.workloads.registry import HIGH_APPS, app_names
 
 PACKING_DENSITIES = (1, 2, 4, 8, 16)
+
+
+def _lookup_order_configs():
+    return [
+        replace(table1_config(TxScheme.ICACHE_LDS), lds_before_icache=lds_first)
+        for lds_first in (True, False)
+    ]
+
+
+def _packing_density_configs():
+    configs = []
+    for density in PACKING_DENSITIES:
+        config = table1_config(TxScheme.ICACHE_ONLY)
+        configs.append(
+            replace(config, icache_tx=replace(config.icache_tx, tx_per_line=density))
+        )
+    return configs
+
+
+def sweep_jobs_lookup_order(scale=None, apps=None) -> List[SweepJob]:
+    if scale is None:
+        scale = DEFAULT_SCALE
+    if apps is None:
+        apps = app_names()
+    configs = [table1_config()] + _lookup_order_configs()
+    return [SweepJob(app, config, scale) for config in configs for app in apps]
+
+
+def sweep_jobs_packing(scale=None, apps=None) -> List[SweepJob]:
+    if scale is None:
+        scale = DEFAULT_SCALE
+    if apps is None:
+        apps = list(HIGH_APPS)
+    configs = [table1_config()] + _packing_density_configs()
+    return [SweepJob(app, config, scale) for config in configs for app in apps]
+
+
+def sweep_jobs(scale=None) -> List[SweepJob]:
+    """The full design-choice ablation grid (lookup order + packing)."""
+
+    return sweep_jobs_lookup_order(scale) + sweep_jobs_packing(scale)
 
 
 def run_lookup_order(
@@ -45,6 +87,7 @@ def run_lookup_order(
             "structure first."
         ),
     )
+    run_sweep(sweep_jobs_lookup_order(scale, apps))
     for lds_first in (True, False):
         config = replace(
             table1_config(TxScheme.ICACHE_LDS), lds_before_icache=lds_first
@@ -78,6 +121,7 @@ def run_packing_density(
             "compressed tags) delivers the IC-only result. High apps only."
         ),
     )
+    run_sweep(sweep_jobs_packing(scale, apps))
     for density in PACKING_DENSITIES:
         config = table1_config(TxScheme.ICACHE_ONLY)
         config = replace(

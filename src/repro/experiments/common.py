@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -29,6 +31,13 @@ DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
 _CACHE: Dict[str, SimResult] = {}
 
 _CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", "")
+
+#: Version tag written into every on-disk payload. Bump whenever the
+#: serialized shape of :class:`SimResult` changes; files carrying a
+#: different tag are treated as stale and re-simulated (then overwritten).
+CACHE_SCHEMA = "repro-simresult-v1"
+
+_LOG = logging.getLogger("repro.experiments.cache")
 
 
 def clear_cache() -> None:
@@ -48,6 +57,12 @@ def _cache_key(app_name: str, config: SystemConfig, scale: float) -> str:
     return f"{app_name}|{scale}|{_config_signature(config)}"
 
 
+def cache_key(app_name: str, config: SystemConfig, scale: float) -> str:
+    """Public cache identity of one (app, config, scale) simulation."""
+
+    return _cache_key(app_name, config, scale)
+
+
 def _disk_path(key: str) -> Optional[str]:
     if not _CACHE_DIR:
         return None
@@ -55,39 +70,11 @@ def _disk_path(key: str) -> Optional[str]:
     return os.path.join(_CACHE_DIR, f"{digest}.json")
 
 
-def _load_disk(key: str) -> Optional[SimResult]:
-    path = _disk_path(key)
-    if path is None or not os.path.exists(path):
-        return None
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    from repro.sim.results import KernelResult
-    from repro.sim.stats import BoxStats
+def serialize_result(result: SimResult) -> Dict:
+    """The versioned, JSON-ready form of a :class:`SimResult`."""
 
-    kernels = [KernelResult(**kernel) for kernel in payload.get("kernels", [])]
-    distributions = {
-        name: (BoxStats(**stats) if stats else None)
-        for name, stats in payload.get("distributions", {}).items()
-    }
-    return SimResult(
-        app_name=payload["app_name"],
-        scheme=payload["scheme"],
-        cycles=payload["cycles"],
-        counters=payload["counters"],
-        kernels=kernels,
-        distributions=distributions,
-    )
-
-
-def _store_disk(key: str, result: SimResult) -> None:
-    path = _disk_path(key)
-    if path is None:
-        return
-    os.makedirs(_CACHE_DIR, exist_ok=True)
-    payload = {
+    return {
+        "schema": CACHE_SCHEMA,
         "app_name": result.app_name,
         "scheme": result.scheme,
         "cycles": result.cycles,
@@ -107,8 +94,110 @@ def _store_disk(key: str, result: SimResult) -> None:
             for name, stats in result.distributions.items()
         },
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+
+
+def deserialize_result(payload: Dict) -> SimResult:
+    """Inverse of :func:`serialize_result`. Raises on malformed payloads."""
+
+    from repro.sim.results import KernelResult
+    from repro.sim.stats import BoxStats
+
+    kernels = [KernelResult(**kernel) for kernel in payload.get("kernels", [])]
+    distributions = {
+        name: (BoxStats(**stats) if stats else None)
+        for name, stats in payload.get("distributions", {}).items()
+    }
+    return SimResult(
+        app_name=payload["app_name"],
+        scheme=payload["scheme"],
+        cycles=payload["cycles"],
+        counters=payload["counters"],
+        kernels=kernels,
+        distributions=distributions,
+    )
+
+
+def result_fingerprint(result: SimResult) -> str:
+    """A stable byte-level digest of a result's serialized form.
+
+    Two results are equivalent iff their fingerprints match; the
+    determinism tests compare parallel and serial runs this way.
+    """
+
+    text = json.dumps(serialize_result(result), sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _quarantine(path: str, reason: str) -> None:
+    """Move a bad cache file aside so it is kept for debugging but never
+    consulted (or silently overwritten) again."""
+
+    quarantined = path + ".corrupt"
+    try:
+        os.replace(path, quarantined)
+    except OSError:
+        _LOG.warning("cache file %s is %s and could not be quarantined", path, reason)
+        return
+    _LOG.warning(
+        "cache file %s is %s; quarantined to %s and re-simulating",
+        path,
+        reason,
+        quarantined,
+    )
+
+
+def _load_disk(key: str) -> Optional[SimResult]:
+    path = _disk_path(key)
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        _quarantine(path, "corrupt (unreadable or invalid JSON)")
+        return None
+    if not isinstance(payload, dict):
+        _quarantine(path, "corrupt (not a JSON object)")
+        return None
+    if payload.get("schema") != CACHE_SCHEMA:
+        # A stale (pre-versioning or different-version) payload: re-simulate
+        # and let the fresh result overwrite it in place.
+        _LOG.warning(
+            "cache file %s has schema %r (want %r); re-simulating",
+            path,
+            payload.get("schema"),
+            CACHE_SCHEMA,
+        )
+        return None
+    try:
+        return deserialize_result(payload)
+    except (KeyError, TypeError):
+        _quarantine(path, "corrupt (schema tag valid but fields malformed)")
+        return None
+
+
+def _store_disk(key: str, result: SimResult) -> None:
+    path = _disk_path(key)
+    if path is None:
+        return
+    os.makedirs(_CACHE_DIR, exist_ok=True)
+    # Concurrent writers (the sweep runner's worker processes) may store the
+    # same key at once: write to a private temp file and atomically replace,
+    # so readers only ever observe complete payloads and the last writer
+    # wins with a fully valid file.
+    fd, tmp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=os.path.basename(path), suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(serialize_result(result), handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def run_app(

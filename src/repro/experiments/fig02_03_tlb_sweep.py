@@ -20,11 +20,31 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
+from repro.sim.runner import SweepJob, run_sweep
 from repro.workloads.registry import app_names
 
 #: Default sweep; the full-paper sweep (…→2M) saturates on our scaled
 #: footprints beyond 64K entries.
 DEFAULT_SIZES = (512, 1024, 2048, 4096, 8192, 16384, 65536, 2 * 1024 * 1024)
+
+
+def sweep_jobs(
+    scale: Optional[float] = None, sizes: Optional[List[int]] = None
+) -> List[SweepJob]:
+    """The full Figures 2+3 job grid, enumerated up front."""
+
+    if scale is None:
+        scale = DEFAULT_SCALE
+    if sizes is None:
+        sizes = list(DEFAULT_SIZES)
+    configs = [table1_config()]
+    configs += [table1_config().with_l2_tlb_entries(entries) for entries in sizes]
+    configs.append(table1_config().with_perfect_l2_tlb())
+    return [
+        SweepJob(app, config, scale)
+        for config in configs
+        for app in app_names()
+    ]
 
 
 def run(
@@ -34,6 +54,7 @@ def run(
         scale = DEFAULT_SCALE
     if sizes is None:
         sizes = list(DEFAULT_SIZES)
+    run_sweep(sweep_jobs(scale, sizes))
     result = ExperimentResult(
         experiment_id="Figures 2 + 3",
         title="Page walks and performance vs L2 TLB size",

@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.config import ICacheReplacement, SystemConfig, TxScheme, table1_config
 from repro.experiments.common import (
@@ -23,7 +23,11 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
+from repro.sim.runner import SweepJob, run_sweep
 from repro.workloads.registry import CATEGORIES, app_names
+
+#: Figure 13b/13c scheme arms.
+SCHEMES = (TxScheme.LDS_ONLY, TxScheme.ICACHE_ONLY, TxScheme.ICACHE_LDS)
 
 
 def icache_variant_configs() -> Dict[str, SystemConfig]:
@@ -47,9 +51,34 @@ def icache_variant_configs() -> Dict[str, SystemConfig]:
     }
 
 
+def sweep_jobs_13a(scale: Optional[float] = None) -> List[SweepJob]:
+    if scale is None:
+        scale = DEFAULT_SCALE
+    configs = [table1_config()] + list(icache_variant_configs().values())
+    return [
+        SweepJob(app, config, scale) for app in app_names() for config in configs
+    ]
+
+
+def sweep_jobs_13bc(scale: Optional[float] = None) -> List[SweepJob]:
+    if scale is None:
+        scale = DEFAULT_SCALE
+    configs = [table1_config()] + [table1_config(scheme) for scheme in SCHEMES]
+    return [
+        SweepJob(app, config, scale) for app in app_names() for config in configs
+    ]
+
+
+def sweep_jobs(scale: Optional[float] = None) -> List[SweepJob]:
+    """The full Figure 13 job grid (13a variants + 13b/c schemes)."""
+
+    return sweep_jobs_13a(scale) + sweep_jobs_13bc(scale)
+
+
 def run_fig13a(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
+    run_sweep(sweep_jobs_13a(scale))
     result = ExperimentResult(
         experiment_id="Figure 13a",
         title="Reconfigurable I-cache design variants",
@@ -80,7 +109,8 @@ def run_fig13a(scale: Optional[float] = None) -> ExperimentResult:
 def run_fig13b(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
-    schemes = (TxScheme.LDS_ONLY, TxScheme.ICACHE_ONLY, TxScheme.ICACHE_LDS)
+    run_sweep(sweep_jobs_13bc(scale))
+    schemes = SCHEMES
     result = ExperimentResult(
         experiment_id="Figure 13b",
         title="Overall performance: LDS / I-cache / combined victim caches",
@@ -120,7 +150,8 @@ def run_fig13b(scale: Optional[float] = None) -> ExperimentResult:
 def run_fig13c(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
-    schemes = (TxScheme.LDS_ONLY, TxScheme.ICACHE_ONLY, TxScheme.ICACHE_LDS)
+    run_sweep(sweep_jobs_13bc(scale))
+    schemes = SCHEMES
     result = ExperimentResult(
         experiment_id="Figure 13c",
         title="Normalized DRAM energy",

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.config import TxScheme, table1_config
 from repro.experiments.common import (
@@ -20,9 +20,40 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
+from repro.sim.runner import SweepJob, run_sweep
 from repro.workloads.registry import app_names
 
 PAGE_SIZES = (4096, 64 * 1024, 2 * 1024 * 1024)
+
+_SCHEMES_14B = (TxScheme.LDS_ONLY, TxScheme.ICACHE_ONLY, TxScheme.ICACHE_LDS)
+
+
+def sweep_jobs_14ab(scale: Optional[float] = None) -> List[SweepJob]:
+    if scale is None:
+        scale = DEFAULT_SCALE
+    configs = [table1_config()] + [table1_config(s) for s in _SCHEMES_14B]
+    return [
+        SweepJob(app, config, scale) for app in app_names() for config in configs
+    ]
+
+
+def sweep_jobs_14c(scale: Optional[float] = None) -> List[SweepJob]:
+    if scale is None:
+        scale = DEFAULT_SCALE
+    jobs: List[SweepJob] = []
+    for page_size in PAGE_SIZES:
+        for config in (
+            table1_config().with_page_size(page_size),
+            table1_config(TxScheme.ICACHE_LDS).with_page_size(page_size),
+        ):
+            jobs.extend(SweepJob(app, config, scale) for app in app_names())
+    return jobs
+
+
+def sweep_jobs(scale: Optional[float] = None) -> List[SweepJob]:
+    """The full Figure 14 job grid (14a/b schemes + 14c page sizes)."""
+
+    return sweep_jobs_14ab(scale) + sweep_jobs_14c(scale)
 
 
 def run_fig14a(scale: Optional[float] = None) -> ExperimentResult:
@@ -33,6 +64,7 @@ def run_fig14a(scale: Optional[float] = None) -> ExperimentResult:
         title="Translations shared across CUs",
         paper_notes="Paper: sharing high except for GEV, NW and SRAD.",
     )
+    run_sweep([SweepJob(app, table1_config(), scale) for app in app_names()])
     for app in app_names():
         sim = run_app(app, table1_config(), scale)
         total = sim.counter("tx_sharing.total_pages")
@@ -50,7 +82,8 @@ def run_fig14a(scale: Optional[float] = None) -> ExperimentResult:
 def run_fig14b(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
-    schemes = (TxScheme.LDS_ONLY, TxScheme.ICACHE_ONLY, TxScheme.ICACHE_LDS)
+    run_sweep(sweep_jobs_14ab(scale))
+    schemes = _SCHEMES_14B
     result = ExperimentResult(
         experiment_id="Figure 14b",
         title="Page walks normalized to baseline",
@@ -95,6 +128,7 @@ def run_fig14c(scale: Optional[float] = None) -> ExperimentResult:
             "measured effect is ~neutral (see EXPERIMENTS.md)."
         ),
     )
+    run_sweep(sweep_jobs_14c(scale))
     for page_size in PAGE_SIZES:
         base_cfg = table1_config().with_page_size(page_size)
         cfg = table1_config(TxScheme.ICACHE_LDS).with_page_size(page_size)

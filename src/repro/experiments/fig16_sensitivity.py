@@ -20,10 +20,71 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
+from repro.sim.runner import SweepJob, run_sweep
 from repro.workloads.registry import app_names
 
 SHARER_COUNTS = (1, 2, 4, 8)
 WIRE_LATENCIES = (10, 50, 100)
+
+_FIG16C_SCHEMES = (
+    TxScheme.DUCATI,
+    TxScheme.ICACHE_LDS,
+    TxScheme.DUCATI_ICACHE_LDS,
+)
+
+
+def _wire_latency_arms():
+    arms = [(0, 0)]
+    arms += [(extra, 0) for extra in WIRE_LATENCIES]
+    arms += [(0, extra) for extra in WIRE_LATENCIES]
+    arms += [(extra, extra) for extra in WIRE_LATENCIES]
+    return arms
+
+
+def sweep_jobs_16a(scale=None, apps=None):
+    if scale is None:
+        scale = DEFAULT_SCALE
+    if apps is None:
+        apps = app_names()
+    jobs = []
+    for sharers in SHARER_COUNTS:
+        for config in (
+            table1_config().with_icache_sharers(sharers),
+            table1_config(TxScheme.ICACHE_ONLY).with_icache_sharers(sharers),
+        ):
+            jobs.extend(SweepJob(app, config, scale) for app in apps)
+    return jobs
+
+
+def sweep_jobs_16b(scale=None, apps=None):
+    if scale is None:
+        scale = DEFAULT_SCALE
+    if apps is None:
+        apps = app_names()
+    configs = [table1_config()]
+    configs += [
+        table1_config(TxScheme.ICACHE_LDS).with_extra_wire_latency(ic, lds)
+        for ic, lds in _wire_latency_arms()
+    ]
+    return [SweepJob(app, config, scale) for config in configs for app in apps]
+
+
+def sweep_jobs_16c(scale=None):
+    if scale is None:
+        scale = DEFAULT_SCALE
+    configs = [table1_config()]
+    configs += [table1_config(scheme) for scheme in _FIG16C_SCHEMES]
+    return [
+        SweepJob(app, config, scale)
+        for config in configs
+        for app in app_names()
+    ]
+
+
+def sweep_jobs(scale=None):
+    """The full Figure 16 job grid (sharers + wire latency + DUCATI)."""
+
+    return sweep_jobs_16a(scale) + sweep_jobs_16b(scale) + sweep_jobs_16c(scale)
 
 
 def run_fig16a(
@@ -38,6 +99,7 @@ def run_fig16a(
         title="I-cache sharers sensitivity (IC-only, capacity constant)",
         paper_notes="Paper: +17.3% at 1 sharer rising to +38.4% at 8.",
     )
+    run_sweep(sweep_jobs_16a(scale, apps))
     for sharers in SHARER_COUNTS:
         base_cfg = table1_config().with_icache_sharers(sharers)
         cfg = table1_config(TxScheme.ICACHE_ONLY).with_icache_sharers(sharers)
@@ -67,6 +129,7 @@ def run_fig16b(
             "gmean — latency hiding across wavefronts absorbs the wires."
         ),
     )
+    run_sweep(sweep_jobs_16b(scale, apps))
 
     def sweep(label: str, icache_extra: int, lds_extra: int) -> None:
         cfg = table1_config(TxScheme.ICACHE_LDS).with_extra_wire_latency(
@@ -107,6 +170,7 @@ def run_fig16c(scale: Optional[float] = None) -> ExperimentResult:
             "+40.7% — the proposals compose."
         ),
     )
+    run_sweep(sweep_jobs_16c(scale))
     arms = {
         "ducati": TxScheme.DUCATI,
         "icache_lds": TxScheme.ICACHE_LDS,

@@ -7,10 +7,11 @@ instruction (PTW-PKI), and the derived High/Medium/Low category.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.config import table1_config
 from repro.experiments.common import DEFAULT_SCALE, ExperimentResult, run_app
+from repro.sim.runner import SweepJob, run_sweep
 from repro.workloads.registry import app_names, make_app
 
 #: The paper's Table 2 values: (kernels, b2b, l1_hr, l2_hr, ptw_pki, cat).
@@ -38,6 +39,14 @@ def categorize(ptw_pki: float) -> str:
     return "L"
 
 
+def sweep_jobs(scale: Optional[float] = None) -> List[SweepJob]:
+    """The Table 2 job grid: every app under the baseline configuration."""
+
+    if scale is None:
+        scale = DEFAULT_SCALE
+    return [SweepJob(app, table1_config(), scale) for app in app_names()]
+
+
 def run(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
@@ -52,6 +61,7 @@ def run(scale: Optional[float] = None) -> ExperimentResult:
             )
         ),
     )
+    run_sweep(sweep_jobs(scale))
     for name in app_names():
         app = make_app(name, scale=scale)
         sim = run_app(name, table1_config(), scale)

@@ -2,6 +2,7 @@
 
 from repro.sim.engine import Port, WaveScheduler
 from repro.sim.results import KernelResult, SimResult, geomean, speedup
+from repro.sim.runner import SweepJob, SweepReport, SweepRunner, run_sweep
 from repro.sim.stats import BoxStats, Distribution, PortIdleTracker, Stats
 
 __all__ = [
@@ -12,7 +13,11 @@ __all__ = [
     "PortIdleTracker",
     "SimResult",
     "Stats",
+    "SweepJob",
+    "SweepReport",
+    "SweepRunner",
     "WaveScheduler",
     "geomean",
     "speedup",
+    "run_sweep",
 ]

@@ -1,0 +1,373 @@
+"""Parallel sweep runner: fan independent simulations across processes.
+
+Every reproduced figure is a grid of independent ``(app, config, scale)``
+simulations — the embarrassingly-parallel shape of TLB-sweep
+characterization (Figures 2–3), the main-results grid (Figure 13), and the
+DUCATI-style sensitivity sweeps (Figure 16). :class:`SweepRunner` executes
+such a grid:
+
+- **Deduplicated**: jobs are identified by the experiment cache key
+  (:func:`repro.experiments.common.cache_key`); duplicate submissions and
+  already-cached results are never simulated twice.
+- **Parallel**: unique, uncached jobs fan across a
+  ``concurrent.futures.ProcessPoolExecutor``. Worker count comes from the
+  ``jobs`` argument, else the ``REPRO_JOBS`` environment variable, else
+  ``os.cpu_count()``. At one worker the runner degrades to a plain
+  in-process loop, so ``REPRO_JOBS=1`` keeps pdb/coverage/profiling usable.
+- **Deterministic**: the simulator itself is deterministic, workers share
+  nothing mutable, and results are reassembled by submission index — a
+  parallel sweep returns byte-identical results to a serial one, in
+  submission order (``tests/sim/test_runner.py`` enforces this).
+- **Observable**: each run produces a :class:`SweepReport` (jobs run,
+  cache hits, wall clock, per-job p50/p95) and optional ``log``-style
+  progress lines.
+
+The runner warms both the in-process and on-disk caches, so experiment
+harnesses can enumerate their grid, push it through the runner, and then
+assemble rows with ordinary :func:`repro.experiments.common.run_app` calls
+that all hit the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import SystemConfig
+from repro.sim.results import SimResult
+
+#: Environment variable controlling the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One simulation of ``app_name`` under ``config`` at ``scale``."""
+
+    app_name: str
+    config: SystemConfig
+    scale: float
+
+    def key(self) -> str:
+        from repro.experiments.common import cache_key
+
+        return cache_key(self.app_name, self.config, self.scale)
+
+
+#: Anything accepted as a job: a :class:`SweepJob` or a plain
+#: ``(app_name, config, scale)`` tuple (config/scale may be ``None`` for
+#: the Table 1 / ``REPRO_SCALE`` defaults).
+JobLike = Union[SweepJob, Tuple[str, Optional[SystemConfig], Optional[float]]]
+
+
+@dataclass
+class JobTiming:
+    """Wall-clock record of one unique job within a sweep."""
+
+    key: str
+    app_name: str
+    scheme: str
+    duration_s: float
+    cached: bool
+
+
+@dataclass
+class SweepReport:
+    """What one :meth:`SweepRunner.run` did, and how long it took."""
+
+    jobs_submitted: int = 0
+    unique_jobs: int = 0
+    cache_hits: int = 0
+    jobs_simulated: int = 0
+    workers: int = 1
+    wall_clock_s: float = 0.0
+    timings: List[JobTiming] = field(default_factory=list)
+
+    @property
+    def duplicate_jobs(self) -> int:
+        return self.jobs_submitted - self.unique_jobs
+
+    def _simulated_durations(self) -> List[float]:
+        return sorted(t.duration_s for t in self.timings if not t.cached)
+
+    @staticmethod
+    def _percentile(sorted_values: List[float], fraction: float) -> float:
+        if not sorted_values:
+            return 0.0
+        index = min(
+            len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+        )
+        return sorted_values[index]
+
+    @property
+    def p50_s(self) -> float:
+        return self._percentile(self._simulated_durations(), 0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return self._percentile(self._simulated_durations(), 0.95)
+
+    def summary(self) -> str:
+        """One ``log``-style line describing the whole sweep."""
+
+        return (
+            f"[sweep] {self.jobs_submitted} jobs "
+            f"({self.unique_jobs} unique, {self.cache_hits} cache hits, "
+            f"{self.jobs_simulated} simulated) on {self.workers} worker(s) "
+            f"in {self.wall_clock_s:.2f}s "
+            f"(per-job p50 {self.p50_s:.2f}s, p95 {self.p95_s:.2f}s)"
+        )
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_JOBS``, else ``os.cpu_count()``."""
+
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}")
+        if value < 1:
+            raise ValueError(f"{JOBS_ENV} must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1
+
+
+def _normalize(job: JobLike) -> SweepJob:
+    from repro.config import table1_config
+    from repro.experiments.common import DEFAULT_SCALE
+
+    if isinstance(job, SweepJob):
+        app_name, config, scale = job.app_name, job.config, job.scale
+    else:
+        app_name, config, scale = job
+    if config is None:
+        config = table1_config()
+    if scale is None:
+        scale = DEFAULT_SCALE
+    return SweepJob(app_name=app_name, config=config, scale=float(scale))
+
+
+def _simulate(job: SweepJob, cache_dir: str) -> Tuple[SimResult, float]:
+    """Worker-side body: simulate one job, honouring the disk cache.
+
+    Runs in a separate process under the pool executor (or inline in the
+    serial fallback). ``cache_dir`` is passed explicitly rather than relying
+    on a forked copy of module state, so spawn-based platforms and
+    monkeypatched test environments behave identically.
+    """
+
+    from repro.experiments import common
+
+    common._CACHE_DIR = cache_dir
+    started = time.perf_counter()
+    # The worker's in-process cache is empty (fresh process) or stale by
+    # definition; the disk cache is authoritative across processes.
+    result = common.run_app(job.app_name, job.config, job.scale)
+    return result, time.perf_counter() - started
+
+
+class SweepRunner:
+    """Execute a job grid, deduplicated and (optionally) in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count. ``None`` defers to ``REPRO_JOBS`` /
+        ``os.cpu_count()``; ``1`` forces the serial in-process path.
+    progress:
+        Optional callable receiving human-readable progress lines
+        (e.g. ``print``). ``None`` silences progress output.
+    use_cache:
+        When ``False`` every submitted job is re-simulated (duplicates are
+        still collapsed within the one call).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.workers = jobs if jobs is not None else default_workers()
+        self.progress = progress
+        self.use_cache = use_cache
+        self.last_report: Optional[SweepReport] = None
+
+    def _log(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def run(self, jobs: Sequence[JobLike]) -> List[SimResult]:
+        """Run ``jobs``; returns results in submission order.
+
+        The detailed :class:`SweepReport` is available as
+        :attr:`last_report` afterwards (or use :meth:`run_with_report`).
+        """
+
+        results, _ = self.run_with_report(jobs)
+        return results
+
+    def run_with_report(
+        self, jobs: Sequence[JobLike]
+    ) -> Tuple[List[SimResult], SweepReport]:
+        from repro.experiments import common
+
+        started = time.perf_counter()
+        normalized = [_normalize(job) for job in jobs]
+        report = SweepReport(jobs_submitted=len(normalized), workers=self.workers)
+
+        # Deduplicate by cache key, keeping first-submission order.
+        unique: Dict[str, SweepJob] = {}
+        keys: List[str] = []
+        for job in normalized:
+            key = job.key()
+            keys.append(key)
+            if key not in unique:
+                unique[key] = job
+        report.unique_jobs = len(unique)
+
+        resolved: Dict[str, SimResult] = {}
+        pending: List[SweepJob] = []
+        for key, job in unique.items():
+            cached = self._probe_cache(common, key) if self.use_cache else None
+            if cached is not None:
+                resolved[key] = cached
+                report.cache_hits += 1
+                report.timings.append(
+                    JobTiming(
+                        key=key,
+                        app_name=job.app_name,
+                        scheme=job.config.scheme.value,
+                        duration_s=0.0,
+                        cached=True,
+                    )
+                )
+            else:
+                pending.append(job)
+
+        if pending:
+            self._log(
+                f"[sweep] {len(pending)} job(s) to simulate "
+                f"({report.cache_hits} cache hit(s)) on "
+                f"{min(self.workers, len(pending))} worker(s)"
+            )
+            if self.workers == 1 or len(pending) == 1:
+                self._run_serial(common, pending, resolved, report)
+            else:
+                self._run_parallel(common, pending, resolved, report)
+
+        report.jobs_simulated = len(pending)
+        report.wall_clock_s = time.perf_counter() - started
+        self.last_report = report
+        self._log(report.summary())
+        return [resolved[key] for key in keys], report
+
+    # -- cache plumbing ----------------------------------------------------
+
+    @staticmethod
+    def _probe_cache(common, key: str) -> Optional[SimResult]:
+        cached = common._CACHE.get(key)
+        if cached is not None:
+            return cached
+        cached = common._load_disk(key)
+        if cached is not None:
+            common._CACHE[key] = cached
+        return cached
+
+    def _absorb(self, common, job: SweepJob, key: str, result: SimResult) -> None:
+        """Fold a finished result into the parent-process caches."""
+
+        if not self.use_cache:
+            return
+        if key not in common._CACHE:
+            common._CACHE[key] = result
+        # Serial runs store to disk inside run_app; a pool worker stores
+        # from its own process. Either way the file exists by now unless
+        # caching is disabled or the worker raced a quarantine — storing
+        # again is an atomic, idempotent overwrite.
+        path = common._disk_path(key)
+        if path is not None and not os.path.exists(path):
+            common._store_disk(key, result)
+
+    # -- execution strategies ----------------------------------------------
+
+    def _run_serial(self, common, pending, resolved, report) -> None:
+        total = len(pending)
+        for index, job in enumerate(pending, start=1):
+            key = job.key()
+            job_started = time.perf_counter()
+            result = common.run_app(
+                job.app_name, job.config, job.scale, use_cache=self.use_cache
+            )
+            duration = time.perf_counter() - job_started
+            resolved[key] = result
+            self._absorb(common, job, key, result)
+            report.timings.append(
+                JobTiming(
+                    key=key,
+                    app_name=job.app_name,
+                    scheme=job.config.scheme.value,
+                    duration_s=duration,
+                    cached=False,
+                )
+            )
+            self._log(
+                f"[sweep] {index}/{total} {job.app_name} "
+                f"{job.config.scheme.value} {duration:.2f}s"
+            )
+
+    def _run_parallel(self, common, pending, resolved, report) -> None:
+        total = len(pending)
+        done_count = 0
+        cache_dir = common._CACHE_DIR if self.use_cache else ""
+        workers = min(self.workers, total)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_simulate, job, cache_dir): job for job in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    job = futures[future]
+                    key = job.key()
+                    result, duration = future.result()
+                    resolved[key] = result
+                    self._absorb(common, job, key, result)
+                    done_count += 1
+                    report.timings.append(
+                        JobTiming(
+                            key=key,
+                            app_name=job.app_name,
+                            scheme=job.config.scheme.value,
+                            duration_s=duration,
+                            cached=False,
+                        )
+                    )
+                    self._log(
+                        f"[sweep] {done_count}/{total} {job.app_name} "
+                        f"{job.config.scheme.value} {duration:.2f}s"
+                    )
+
+
+def run_sweep(
+    jobs: Sequence[JobLike],
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SimResult]:
+    """Convenience wrapper: one-shot :class:`SweepRunner` execution.
+
+    Experiment harnesses call this to warm the caches for an enumerated
+    grid before assembling their rows.
+    """
+
+    return SweepRunner(jobs=workers, progress=progress).run(jobs)

@@ -55,6 +55,11 @@ def stub(monkeypatch):
         runner.set(app, TxScheme.BASELINE, 1000, **{"iommu.walks": 100.0})
     for module in (fig13_main, fig14_sharing_walks_pagesize, fig15_entries):
         monkeypatch.setattr(module, "run_app", runner)
+        # The harnesses prefetch their grid through the sweep runner before
+        # assembling rows; with run_app stubbed that would launch real
+        # simulations, so neutralize it too.
+        if hasattr(module, "run_sweep"):
+            monkeypatch.setattr(module, "run_sweep", lambda jobs, **kwargs: [])
     return runner
 
 

@@ -1,5 +1,10 @@
 """Additional engine edge cases surfaced during calibration."""
 
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.sim.engine import Port, WaveScheduler
 
 
@@ -66,3 +71,93 @@ class TestSchedulerStress:
         scheduler.add(0, "w", step)
         scheduler.run()
         assert seen == sorted(seen)
+
+
+#: A randomized request stream: nondecreasing arrival times (the anchor
+#: discipline guarantees this in the real simulator) with optional per-
+#: request occupancy overrides.
+_request_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),  # inter-arrival gap
+        st.one_of(st.none(), st.integers(min_value=0, max_value=50)),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+_port_shapes = st.tuples(
+    st.integers(min_value=1, max_value=8),  # units
+    st.integers(min_value=0, max_value=30),  # default occupancy
+)
+
+
+def _drive(port, stream):
+    """Replay a stream; returns [(now, occupancy, start)] per request."""
+
+    log = []
+    now = 0
+    for gap, occupancy in stream:
+        now += gap
+        start = port.request(now, occupancy)
+        effective = port.occupancy if occupancy is None else occupancy
+        log.append((now, effective, start))
+    return log
+
+
+class TestPortProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(shape=_port_shapes, stream=_request_streams)
+    def test_starts_nondecreasing_per_unit_and_never_early(self, shape, stream):
+        units, occupancy = shape
+        port = Port("p", units=units, occupancy=occupancy)
+        log = _drive(port, stream)
+        # No request starts before it arrives.
+        assert all(start >= now for now, _, start in log)
+        # Replaying the claimed (start, occupancy) intervals against a
+        # greedy earliest-free pool never needs a unit before its free
+        # time: units are single-occupancy and starts are feasible.
+        free = [0] * units
+        heapq.heapify(free)
+        for _, effective, start in log:
+            earliest = heapq.heappop(free)
+            assert start >= earliest
+            heapq.heappush(free, start + effective)
+        # The overall start sequence (one stream, nondecreasing arrivals)
+        # is itself nondecreasing.
+        starts = [start for _, _, start in log]
+        assert starts == sorted(starts)
+
+    @settings(max_examples=200, deadline=None)
+    @given(shape=_port_shapes, stream=_request_streams)
+    def test_busy_cycles_equals_sum_of_claimed_occupancies(self, shape, stream):
+        units, occupancy = shape
+        port = Port("p", units=units, occupancy=occupancy)
+        log = _drive(port, stream)
+        assert port.busy_cycles == sum(effective for _, effective, _ in log)
+
+    @settings(max_examples=100, deadline=None)
+    @given(shape=_port_shapes, stream=_request_streams)
+    def test_reset_restores_all_free_state(self, shape, stream):
+        units, occupancy = shape
+        port = Port("p", units=units, occupancy=occupancy)
+        first = _drive(port, stream)
+        port.reset()
+        assert port.busy_cycles == 0
+        assert port.earliest_free() == 0
+        assert port.units == units
+        # A reset port replays the identical stream identically.
+        second = _drive(port, stream)
+        assert second == first
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        shape=_port_shapes,
+        stream=_request_streams,
+        now=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_request_after_long_idle_starts_immediately(self, shape, stream, now):
+        units, occupancy = shape
+        port = Port("p", units=units, occupancy=occupancy)
+        _drive(port, stream)
+        late = max(port.earliest_free(), now) + 1
+        assert port.request(late) == late

@@ -1,0 +1,202 @@
+"""Determinism and equivalence battery for the parallel sweep runner.
+
+The runner is only safe to ship if a parallel sweep is *indistinguishable*
+from the serial path: byte-identical results, submission order preserved,
+and no job simulated more than once. These tests pin all three down.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.config import TxScheme, table1_config
+from repro.experiments import common
+from repro.experiments.fig13_main import sweep_jobs_13bc
+from repro.sim.runner import (
+    SweepJob,
+    SweepRunner,
+    default_workers,
+    run_sweep,
+)
+
+SCALE = 0.05
+
+APPS = ("ATAX", "SRAD", "GUPS")
+SCHEMES = (TxScheme.BASELINE, TxScheme.ICACHE_LDS)
+
+
+@pytest.fixture(autouse=True)
+def _memory_only_cache(monkeypatch):
+    """Isolate every test: empty in-process cache, no disk cache."""
+
+    monkeypatch.setattr(common, "_CACHE_DIR", "")
+    common.clear_cache()
+    yield
+    common.clear_cache()
+
+
+def small_grid():
+    return [
+        SweepJob(app, table1_config(scheme), SCALE)
+        for app in APPS
+        for scheme in SCHEMES
+    ]
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial_byte_identical(self):
+        jobs = small_grid()
+        serial = [
+            common.run_app(job.app_name, job.config, job.scale) for job in jobs
+        ]
+        serial_prints = [common.result_fingerprint(r) for r in serial]
+
+        common.clear_cache()  # force the parallel run to actually simulate
+        parallel = SweepRunner(jobs=4).run(jobs)
+        parallel_prints = [common.result_fingerprint(r) for r in parallel]
+
+        assert parallel_prints == serial_prints
+
+    def test_fig13_grid_parallel_matches_serial(self):
+        # The acceptance grid: every Figure 13b/c job at a tiny scale.
+        jobs = sweep_jobs_13bc(0.02)
+        serial = [
+            common.run_app(job.app_name, job.config, job.scale) for job in jobs
+        ]
+        serial_prints = [common.result_fingerprint(r) for r in serial]
+
+        common.clear_cache()
+        parallel = SweepRunner(jobs=4).run(jobs)
+        parallel_prints = [common.result_fingerprint(r) for r in parallel]
+
+        assert parallel_prints == serial_prints
+
+    def test_serial_fallback_matches_run_app(self):
+        jobs = small_grid()
+        direct = [
+            common.result_fingerprint(
+                common.run_app(job.app_name, job.config, job.scale)
+            )
+            for job in jobs
+        ]
+        common.clear_cache()
+        via_runner = [
+            common.result_fingerprint(r) for r in SweepRunner(jobs=1).run(jobs)
+        ]
+        assert via_runner == direct
+
+
+class TestOrderingAndDedup:
+    def test_results_in_submission_order(self):
+        jobs = small_grid()
+        results = SweepRunner(jobs=4).run(jobs)
+        assert [r.app_name for r in results] == [j.app_name for j in jobs]
+        assert [r.scheme for r in results] == [
+            j.config.scheme.value for j in jobs
+        ]
+
+    def test_duplicate_jobs_simulated_once(self):
+        base = small_grid()
+        jobs = base + base + base  # every job submitted three times
+        runner = SweepRunner(jobs=4)
+        results, report = runner.run_with_report(jobs)
+
+        assert report.jobs_submitted == 3 * len(base)
+        assert report.unique_jobs == len(base)
+        assert report.duplicate_jobs == 2 * len(base)
+        assert report.jobs_simulated == len(base)
+        assert report.cache_hits == 0
+        # Duplicates resolve to the very same object, not a re-simulation.
+        for index in range(len(base)):
+            assert results[index] is results[index + len(base)]
+            assert results[index] is results[index + 2 * len(base)]
+
+    def test_warm_cache_counts_as_hits(self):
+        jobs = small_grid()
+        runner = SweepRunner(jobs=1)
+        runner.run(jobs)
+        _, report = runner.run_with_report(jobs)
+        assert report.cache_hits == len(jobs)
+        assert report.jobs_simulated == 0
+
+    def test_tuple_jobs_and_defaults_accepted(self):
+        results = run_sweep([("SRAD", None, SCALE)], workers=1)
+        assert results[0].app_name == "SRAD"
+        assert results[0].scheme == "baseline"
+
+
+class TestReport:
+    def test_report_timings_and_percentiles(self):
+        jobs = small_grid()
+        runner = SweepRunner(jobs=1)
+        _, report = runner.run_with_report(jobs)
+        simulated = [t for t in report.timings if not t.cached]
+        assert len(simulated) == len(jobs)
+        assert all(t.duration_s > 0 for t in simulated)
+        durations = sorted(t.duration_s for t in simulated)
+        assert durations[0] <= report.p50_s <= report.p95_s <= durations[-1]
+        assert report.wall_clock_s >= sum(durations) * 0.5
+
+    def test_progress_lines_emitted(self):
+        lines = []
+        SweepRunner(jobs=1, progress=lines.append).run(small_grid()[:2])
+        assert any("[sweep]" in line for line in lines)
+        assert any("jobs" in line for line in lines)
+
+    def test_summary_mentions_cache_hits(self):
+        runner = SweepRunner(jobs=1)
+        runner.run(small_grid()[:1])
+        _, report = runner.run_with_report(small_grid()[:1])
+        assert "1 cache hits" in report.summary()
+
+
+class TestWorkerConfiguration:
+    def test_repro_jobs_env_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_workers() == 3
+        assert SweepRunner().workers == 3
+
+    def test_repro_jobs_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        with pytest.raises(ValueError):
+            default_workers()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError):
+            default_workers()
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_workers() == (os.cpu_count() or 1)
+
+    def test_explicit_jobs_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert SweepRunner(jobs=2).workers == 2
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="wall-clock speedup needs a multicore machine",
+)
+class TestParallelSpeedup:
+    def test_fig13_grid_faster_with_four_workers(self):
+        jobs = sweep_jobs_13bc(0.02)
+
+        common.clear_cache()
+        started = time.perf_counter()
+        SweepRunner(jobs=1).run(jobs)
+        serial_s = time.perf_counter() - started
+
+        common.clear_cache()
+        started = time.perf_counter()
+        SweepRunner(jobs=4).run(jobs)
+        parallel_s = time.perf_counter() - started
+
+        # Loose bound: any real pool on >=2 cores clears 0.8x easily.
+        assert parallel_s < 0.8 * serial_s, (
+            f"parallel {parallel_s:.2f}s not faster than serial {serial_s:.2f}s"
+        )
