@@ -8,7 +8,9 @@ Commands:
 - ``config``   — print (or save) a configuration as JSON.
 - ``report``   — regenerate EXPERIMENTS.md (all tables and figures).
 - ``sweep``    — run a named figure's job grid through the parallel
-  sweep runner (``--jobs``, ``--scale``, ``--cache-dir``).
+  sweep runner (``--jobs``, ``--scale``, ``--cache-dir``, plus the
+  fault-tolerance knobs ``--timeout``, ``--max-retries``,
+  ``--keep-going``).
 """
 
 from __future__ import annotations
@@ -150,23 +152,40 @@ def cmd_report(args) -> int:
 def cmd_sweep(args) -> int:
     from repro.experiments import common
     from repro.experiments.report import SWEEP_GRIDS
-    from repro.sim.runner import SweepRunner
+    from repro.sim.runner import SweepAbort, SweepRunner
 
     if args.cache_dir:
         common._CACHE_DIR = args.cache_dir
     grid = SWEEP_GRIDS[args.figure]
     jobs = grid(args.scale)
     try:
-        runner = SweepRunner(jobs=args.jobs, progress=print)
+        runner = SweepRunner(
+            jobs=args.jobs,
+            progress=print,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            keep_going=args.keep_going,
+        )
     except ValueError as error:
         print(f"repro sweep: error: {error}", file=sys.stderr)
         return 2
-    _, report = runner.run_with_report(jobs)
+    try:
+        _, report = runner.run_with_report(jobs)
+    except SweepAbort as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        print("repro sweep: completed results were kept in the cache; "
+              "re-run with --keep-going to record failures and continue",
+              file=sys.stderr)
+        return 1
     print(
         f"{args.figure}: {report.jobs_submitted} jobs, "
         f"{report.unique_jobs} unique, {report.cache_hits} cache hits, "
         f"{report.jobs_simulated} simulated in {report.wall_clock_s:.2f}s"
     )
+    if report.failures:
+        print(f"{args.figure}: {len(report.failures)} job(s) failed terminally:")
+        for line in report.failure_lines():
+            print(f"  {line}")
     return 0
 
 
@@ -241,6 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--cache-dir", dest="cache_dir",
         help="on-disk result cache directory (default: REPRO_CACHE_DIR)",
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job timeout in seconds, parallel sweeps only "
+             "(default: REPRO_TIMEOUT or unbounded)",
+    )
+    sweep_parser.add_argument(
+        "--max-retries", type=int, dest="max_retries", default=None,
+        help="extra attempts for a failing job beyond the first "
+             "(default: REPRO_MAX_RETRIES or 2)",
+    )
+    sweep_parser.add_argument(
+        "--keep-going", dest="keep_going", action="store_true", default=None,
+        help="record terminal job failures and keep sweeping instead of "
+             "aborting (failed slots resolve to None)",
     )
     sweep_parser.set_defaults(func=cmd_sweep)
 

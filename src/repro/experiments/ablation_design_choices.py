@@ -87,7 +87,7 @@ def run_lookup_order(
             "structure first."
         ),
     )
-    run_sweep(sweep_jobs_lookup_order(scale, apps))
+    run_sweep(sweep_jobs_lookup_order(scale, apps), keep_going=True)
     for lds_first in (True, False):
         config = replace(
             table1_config(TxScheme.ICACHE_LDS), lds_before_icache=lds_first
@@ -121,7 +121,7 @@ def run_packing_density(
             "compressed tags) delivers the IC-only result. High apps only."
         ),
     )
-    run_sweep(sweep_jobs_packing(scale, apps))
+    run_sweep(sweep_jobs_packing(scale, apps), keep_going=True)
     for density in PACKING_DENSITIES:
         config = table1_config(TxScheme.ICACHE_ONLY)
         config = replace(

@@ -33,9 +33,11 @@ _CACHE: Dict[str, SimResult] = {}
 _CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", "")
 
 #: Version tag written into every on-disk payload. Bump whenever the
-#: serialized shape of :class:`SimResult` changes; files carrying a
-#: different tag are treated as stale and re-simulated (then overwritten).
-CACHE_SCHEMA = "repro-simresult-v1"
+#: serialized shape of :class:`SimResult` changes — or when the simulator's
+#: measured semantics change (e.g. the v2 port-idle zero-gap fix), so stale
+#: results never mix with fresh ones; files carrying a different tag are
+#: treated as stale and re-simulated (then overwritten).
+CACHE_SCHEMA = "repro-simresult-v2"
 
 _LOG = logging.getLogger("repro.experiments.cache")
 
@@ -54,7 +56,10 @@ def _config_signature(config: SystemConfig) -> str:
 
 
 def _cache_key(app_name: str, config: SystemConfig, scale: float) -> str:
-    return f"{app_name}|{scale}|{_config_signature(config)}"
+    # float(scale): ``scale=1`` and ``scale=1.0`` are the same simulation
+    # and must share one cache identity (an int interpolates as "1", a
+    # float as "1.0", which used to split the key and miss warm caches).
+    return f"{app_name}|{float(scale)}|{_config_signature(config)}"
 
 
 def cache_key(app_name: str, config: SystemConfig, scale: float) -> str:
@@ -212,6 +217,7 @@ def run_app(
         config = table1_config()
     if scale is None:
         scale = DEFAULT_SCALE
+    scale = float(scale)
     key = _cache_key(app_name, config, scale)
     if use_cache:
         cached = _CACHE.get(key)

@@ -54,7 +54,7 @@ def run(
         scale = DEFAULT_SCALE
     if sizes is None:
         sizes = list(DEFAULT_SIZES)
-    run_sweep(sweep_jobs(scale, sizes))
+    run_sweep(sweep_jobs(scale, sizes), keep_going=True)
     result = ExperimentResult(
         experiment_id="Figures 2 + 3",
         title="Page walks and performance vs L2 TLB size",

@@ -78,7 +78,7 @@ def sweep_jobs(scale: Optional[float] = None) -> List[SweepJob]:
 def run_fig13a(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
-    run_sweep(sweep_jobs_13a(scale))
+    run_sweep(sweep_jobs_13a(scale), keep_going=True)
     result = ExperimentResult(
         experiment_id="Figure 13a",
         title="Reconfigurable I-cache design variants",
@@ -109,7 +109,7 @@ def run_fig13a(scale: Optional[float] = None) -> ExperimentResult:
 def run_fig13b(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
-    run_sweep(sweep_jobs_13bc(scale))
+    run_sweep(sweep_jobs_13bc(scale), keep_going=True)
     schemes = SCHEMES
     result = ExperimentResult(
         experiment_id="Figure 13b",
@@ -150,7 +150,7 @@ def run_fig13b(scale: Optional[float] = None) -> ExperimentResult:
 def run_fig13c(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
-    run_sweep(sweep_jobs_13bc(scale))
+    run_sweep(sweep_jobs_13bc(scale), keep_going=True)
     schemes = SCHEMES
     result = ExperimentResult(
         experiment_id="Figure 13c",

@@ -64,7 +64,10 @@ def run_fig14a(scale: Optional[float] = None) -> ExperimentResult:
         title="Translations shared across CUs",
         paper_notes="Paper: sharing high except for GEV, NW and SRAD.",
     )
-    run_sweep([SweepJob(app, table1_config(), scale) for app in app_names()])
+    run_sweep(
+        [SweepJob(app, table1_config(), scale) for app in app_names()],
+        keep_going=True,
+    )
     for app in app_names():
         sim = run_app(app, table1_config(), scale)
         total = sim.counter("tx_sharing.total_pages")
@@ -82,7 +85,7 @@ def run_fig14a(scale: Optional[float] = None) -> ExperimentResult:
 def run_fig14b(scale: Optional[float] = None) -> ExperimentResult:
     if scale is None:
         scale = DEFAULT_SCALE
-    run_sweep(sweep_jobs_14ab(scale))
+    run_sweep(sweep_jobs_14ab(scale), keep_going=True)
     schemes = _SCHEMES_14B
     result = ExperimentResult(
         experiment_id="Figure 14b",
@@ -128,7 +131,7 @@ def run_fig14c(scale: Optional[float] = None) -> ExperimentResult:
             "measured effect is ~neutral (see EXPERIMENTS.md)."
         ),
     )
-    run_sweep(sweep_jobs_14c(scale))
+    run_sweep(sweep_jobs_14c(scale), keep_going=True)
     for page_size in PAGE_SIZES:
         base_cfg = table1_config().with_page_size(page_size)
         cfg = table1_config(TxScheme.ICACHE_LDS).with_page_size(page_size)

@@ -99,7 +99,7 @@ def run_fig16a(
         title="I-cache sharers sensitivity (IC-only, capacity constant)",
         paper_notes="Paper: +17.3% at 1 sharer rising to +38.4% at 8.",
     )
-    run_sweep(sweep_jobs_16a(scale, apps))
+    run_sweep(sweep_jobs_16a(scale, apps), keep_going=True)
     for sharers in SHARER_COUNTS:
         base_cfg = table1_config().with_icache_sharers(sharers)
         cfg = table1_config(TxScheme.ICACHE_ONLY).with_icache_sharers(sharers)
@@ -129,7 +129,7 @@ def run_fig16b(
             "gmean — latency hiding across wavefronts absorbs the wires."
         ),
     )
-    run_sweep(sweep_jobs_16b(scale, apps))
+    run_sweep(sweep_jobs_16b(scale, apps), keep_going=True)
 
     def sweep(label: str, icache_extra: int, lds_extra: int) -> None:
         cfg = table1_config(TxScheme.ICACHE_LDS).with_extra_wire_latency(
@@ -170,7 +170,7 @@ def run_fig16c(scale: Optional[float] = None) -> ExperimentResult:
             "+40.7% — the proposals compose."
         ),
     )
-    run_sweep(sweep_jobs_16c(scale))
+    run_sweep(sweep_jobs_16c(scale), keep_going=True)
     arms = {
         "ducati": TxScheme.DUCATI,
         "icache_lds": TxScheme.ICACHE_LDS,

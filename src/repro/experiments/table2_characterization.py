@@ -61,7 +61,7 @@ def run(scale: Optional[float] = None) -> ExperimentResult:
             )
         ),
     )
-    run_sweep(sweep_jobs(scale))
+    run_sweep(sweep_jobs(scale), keep_going=True)
     for name in app_names():
         app = make_app(name, scale=scale)
         sim = run_app(name, table1_config(), scale)

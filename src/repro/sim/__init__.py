@@ -2,22 +2,33 @@
 
 from repro.sim.engine import Port, WaveScheduler
 from repro.sim.results import KernelResult, SimResult, geomean, speedup
-from repro.sim.runner import SweepJob, SweepReport, SweepRunner, run_sweep
+from repro.sim.runner import (
+    JobFailure,
+    SweepAbort,
+    SweepJob,
+    SweepReport,
+    SweepRunner,
+    parse_fault_spec,
+    run_sweep,
+)
 from repro.sim.stats import BoxStats, Distribution, PortIdleTracker, Stats
 
 __all__ = [
     "BoxStats",
     "Distribution",
+    "JobFailure",
     "KernelResult",
     "Port",
     "PortIdleTracker",
     "SimResult",
     "Stats",
+    "SweepAbort",
     "SweepJob",
     "SweepReport",
     "SweepRunner",
     "WaveScheduler",
     "geomean",
+    "parse_fault_spec",
     "speedup",
     "run_sweep",
 ]

@@ -18,9 +18,27 @@ such a grid:
   nothing mutable, and results are reassembled by submission index — a
   parallel sweep returns byte-identical results to a serial one, in
   submission order (``tests/sim/test_runner.py`` enforces this).
+- **Fault-tolerant**: transient worker exceptions are retried with
+  exponential backoff (``max_retries``), hung jobs are bounded by a
+  per-job ``timeout``, and a crashed worker (``BrokenProcessPool``) does
+  not abort the sweep: the pool is rebuilt and the lost jobs re-submitted.
+  Jobs that repeatedly coincide with pool crashes are re-run one at a
+  time in a fresh single-worker pool, so an innocent bystander of a
+  crashing neighbour still completes and the true culprit is attributed
+  precisely. A job that still fails after all of that becomes a terminal
+  :class:`JobFailure` record; with ``keep_going=True`` the sweep finishes
+  every other job and returns ``None`` at the failed slots, otherwise
+  :class:`SweepAbort` is raised (completed results survive in the caches
+  either way).
 - **Observable**: each run produces a :class:`SweepReport` (jobs run,
-  cache hits, wall clock, per-job p50/p95) and optional ``log``-style
-  progress lines.
+  cache hits, retries, failures, wall clock, per-job p50/p95) and optional
+  ``log``-style progress lines.
+
+Fault injection (tests / CI): pass a picklable ``fault`` callable to
+:class:`SweepRunner` — invoked as ``fault(job, attempt)`` in the executing
+process right before the simulation — or set the ``REPRO_FAULT_SPEC``
+environment variable (see :func:`parse_fault_spec`) to inject exceptions,
+hangs, and hard crashes deterministically.
 
 The runner warms both the in-process and on-disk caches, so experiment
 harnesses can enumerate their grid, push it through the runner, and then
@@ -30,17 +48,34 @@ that all hit the cache.
 
 from __future__ import annotations
 
+import fnmatch
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
 from repro.sim.results import SimResult
+from repro.sim.stats import _percentile as _linear_percentile
 
 #: Environment variable controlling the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+#: Per-job timeout in seconds (parallel sweeps only).
+TIMEOUT_ENV = "REPRO_TIMEOUT"
+#: Extra attempts granted to a failing job beyond the first.
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+#: "1"/"true" makes terminal failures non-fatal (None placeholders).
+KEEP_GOING_ENV = "REPRO_KEEP_GOING"
+#: Deterministic fault-injection spec (see :func:`parse_fault_spec`).
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BACKOFF_S = 0.05
+_BACKOFF_CAP_S = 2.0
 
 
 @dataclass(frozen=True)
@@ -75,6 +110,48 @@ class JobTiming:
 
 
 @dataclass
+class JobFailure:
+    """Terminal record of one job the sweep could not complete.
+
+    ``disposition`` says how the last attempt died: ``"exception"`` (the
+    worker raised), ``"timeout"`` (exceeded the per-job timeout), or
+    ``"crash"`` (the worker process died, confirmed in isolation).
+    """
+
+    key: str
+    app_name: str
+    scheme: str
+    attempts: int
+    error: str
+    disposition: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.app_name} {self.scheme} failed after "
+            f"{self.attempts} attempt(s) [{self.disposition}]: {self.error}"
+        )
+
+
+class SweepAbort(RuntimeError):
+    """A job failed terminally and the runner was not ``keep_going``.
+
+    Carries the offending :class:`JobFailure` and the partial
+    :class:`SweepReport`; everything completed before the abort has
+    already been absorbed into the in-process and on-disk caches.
+    """
+
+    def __init__(self, failure: JobFailure, report: "SweepReport") -> None:
+        super().__init__(f"sweep aborted: {failure.describe()}")
+        self.failure = failure
+        self.report = report
+
+
+class FaultInjection(RuntimeError):
+    """Raised by an injected ``exc`` fault (and by ``crash`` faults that
+    would otherwise kill the parent process in the serial path)."""
+
+
+@dataclass
 class SweepReport:
     """What one :meth:`SweepRunner.run` did, and how long it took."""
 
@@ -84,7 +161,9 @@ class SweepReport:
     jobs_simulated: int = 0
     workers: int = 1
     wall_clock_s: float = 0.0
+    retries: int = 0
     timings: List[JobTiming] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
 
     @property
     def duplicate_jobs(self) -> int:
@@ -95,12 +174,11 @@ class SweepReport:
 
     @staticmethod
     def _percentile(sorted_values: List[float], fraction: float) -> float:
+        # Shared linear-interpolation percentile (repro.sim.stats), so
+        # sweep p50/p95 agree with every other percentile in the repo.
         if not sorted_values:
             return 0.0
-        index = min(
-            len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
-        )
-        return sorted_values[index]
+        return _linear_percentile(sorted_values, fraction)
 
     @property
     def p50_s(self) -> float:
@@ -110,16 +188,67 @@ class SweepReport:
     def p95_s(self) -> float:
         return self._percentile(self._simulated_durations(), 0.95)
 
+    def failure_lines(self) -> List[str]:
+        """One ``log``-style line per terminal failure."""
+
+        return [f"[sweep] FAILED {failure.describe()}" for failure in self.failures]
+
     def summary(self) -> str:
         """One ``log``-style line describing the whole sweep."""
 
-        return (
+        line = (
             f"[sweep] {self.jobs_submitted} jobs "
             f"({self.unique_jobs} unique, {self.cache_hits} cache hits, "
             f"{self.jobs_simulated} simulated) on {self.workers} worker(s) "
             f"in {self.wall_clock_s:.2f}s "
             f"(per-job p50 {self.p50_s:.2f}s, p95 {self.p95_s:.2f}s)"
         )
+        if self.retries:
+            line += f", {self.retries} retr{'y' if self.retries == 1 else 'ies'}"
+        if self.failures:
+            line += f", {len(self.failures)} FAILED"
+        return line
+
+
+#: Process-wide log of terminal failures across all sweeps, so callers
+#: that drive many sweeps (the report module) can surface one combined
+#: failure summary. Drained by :func:`drain_failures`.
+_FAILURE_LOG: List[JobFailure] = []
+
+
+def drain_failures() -> List[JobFailure]:
+    """Return and clear the process-wide terminal-failure log."""
+
+    drained = list(_FAILURE_LOG)
+    _FAILURE_LOG.clear()
+    return drained
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}")
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}")
+
+
+def _env_flag(name: str) -> Optional[bool]:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return None
+    return raw not in ("0", "false", "no", "off")
 
 
 def default_workers() -> int:
@@ -137,6 +266,106 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+# -- fault injection ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FaultRule:
+    app: str
+    scheme: str
+    kind: str  # "exc" | "hang" | "crash"
+    arg: float
+    max_attempt: Optional[int]
+
+
+class SpecFault:
+    """Picklable fault hook built from a ``REPRO_FAULT_SPEC`` string.
+
+    Invoked as ``fault(job, attempt)`` in the executing process. ``crash``
+    rules hard-kill that process with ``os._exit`` — but never the parent
+    runner process (the serial path degrades them to
+    :class:`FaultInjection` so a misconfigured spec cannot take down the
+    whole sweep, let alone pytest).
+    """
+
+    def __init__(self, rules: Sequence[_FaultRule], parent_pid: int) -> None:
+        self.rules = list(rules)
+        self.parent_pid = parent_pid
+
+    def __call__(self, job: SweepJob, attempt: int) -> None:
+        for rule in self.rules:
+            if not fnmatch.fnmatchcase(job.app_name, rule.app):
+                continue
+            if not fnmatch.fnmatchcase(job.config.scheme.value, rule.scheme):
+                continue
+            if rule.max_attempt is not None and attempt > rule.max_attempt:
+                continue
+            if rule.kind == "exc":
+                raise FaultInjection(
+                    f"injected exception for {job.app_name} "
+                    f"{job.config.scheme.value} (attempt {attempt})"
+                )
+            if rule.kind == "hang":
+                time.sleep(rule.arg)
+                return
+            if rule.kind == "crash":
+                if os.getpid() == self.parent_pid:
+                    raise FaultInjection(
+                        f"injected crash for {job.app_name} demoted to an "
+                        "exception (would have killed the parent process)"
+                    )
+                os._exit(42)
+
+
+def parse_fault_spec(text: str, parent_pid: Optional[int] = None) -> SpecFault:
+    """Parse a deterministic fault-injection spec into a fault callable.
+
+    Grammar (rules separated by ``;``)::
+
+        rule := APP ":" SCHEME ":" KIND [":" SECONDS] ["@" MAX_ATTEMPT]
+        KIND := "exc" | "crash" | "hang"
+
+    ``APP`` and ``SCHEME`` are ``fnmatch`` patterns (``*`` matches all).
+    ``SECONDS`` only applies to ``hang`` (default 30). ``@N`` fires the
+    rule only while the job's attempt number is <= N, so
+    ``"ATAX:*:exc@1"`` fails ATAX's first attempt and lets the retry
+    succeed — deterministic across processes with no shared state.
+    """
+
+    rules: List[_FaultRule] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 3:
+            raise ValueError(f"bad fault rule {chunk!r}: want APP:SCHEME:KIND")
+        app, scheme, tail = parts[0], parts[1], ":".join(parts[2:])
+        max_attempt: Optional[int] = None
+        if "@" in tail:
+            tail, raw = tail.rsplit("@", 1)
+            max_attempt = int(raw)
+        kind_parts = tail.split(":")
+        kind = kind_parts[0]
+        if kind not in ("exc", "crash", "hang"):
+            raise ValueError(f"bad fault kind {kind!r} in {chunk!r}")
+        if len(kind_parts) > 1:
+            arg = float(kind_parts[1])
+        else:
+            arg = 30.0 if kind == "hang" else 0.0
+        rules.append(
+            _FaultRule(
+                app=app, scheme=scheme, kind=kind, arg=arg, max_attempt=max_attempt
+            )
+        )
+    if not rules:
+        raise ValueError(f"empty fault spec {text!r}")
+    return SpecFault(rules, parent_pid if parent_pid is not None else os.getpid())
+
+
+# -- job plumbing ------------------------------------------------------------
+
+
 def _normalize(job: JobLike) -> SweepJob:
     from repro.config import table1_config
     from repro.experiments.common import DEFAULT_SCALE
@@ -152,23 +381,43 @@ def _normalize(job: JobLike) -> SweepJob:
     return SweepJob(app_name=app_name, config=config, scale=float(scale))
 
 
-def _simulate(job: SweepJob, cache_dir: str) -> Tuple[SimResult, float]:
+def _simulate(
+    job: SweepJob,
+    cache_dir: str,
+    use_cache: bool = True,
+    attempt: int = 1,
+    fault: Optional[Callable[[SweepJob, int], None]] = None,
+) -> Tuple[SimResult, float]:
     """Worker-side body: simulate one job, honouring the disk cache.
 
-    Runs in a separate process under the pool executor (or inline in the
-    serial fallback). ``cache_dir`` is passed explicitly rather than relying
-    on a forked copy of module state, so spawn-based platforms and
-    monkeypatched test environments behave identically.
+    Runs in a separate process under the pool executor. ``cache_dir`` and
+    ``use_cache`` are passed explicitly rather than relying on a forked
+    copy of module state: under the fork start method a worker inherits
+    the parent's populated in-process ``_CACHE``, which must never be
+    consulted when the runner was built with ``use_cache=False`` (and is
+    stale by definition otherwise — the disk cache is authoritative
+    across processes).
     """
 
     from repro.experiments import common
 
     common._CACHE_DIR = cache_dir
+    if not use_cache:
+        common._CACHE = {}
     started = time.perf_counter()
-    # The worker's in-process cache is empty (fresh process) or stale by
-    # definition; the disk cache is authoritative across processes.
-    result = common.run_app(job.app_name, job.config, job.scale)
+    if fault is not None:
+        fault(job, attempt)
+    result = common.run_app(job.app_name, job.config, job.scale, use_cache=use_cache)
     return result, time.perf_counter() - started
+
+
+@dataclass
+class _Pending:
+    """Mutable retry state of one unique job awaiting execution."""
+
+    job: SweepJob
+    attempt: int = 1
+    not_before: float = 0.0  # monotonic gate implementing retry backoff
 
 
 class SweepRunner:
@@ -185,6 +434,25 @@ class SweepRunner:
     use_cache:
         When ``False`` every submitted job is re-simulated (duplicates are
         still collapsed within the one call).
+    timeout:
+        Per-job wall-clock budget in seconds (``None`` = unbounded;
+        default from ``REPRO_TIMEOUT``). Enforced on the parallel path
+        only — a single in-process simulation cannot be preempted.
+    max_retries:
+        Extra attempts granted to a failing job beyond the first
+        (default from ``REPRO_MAX_RETRIES``, else 2).
+    retry_backoff_s:
+        Base of the exponential backoff between attempts (capped at 2s).
+    keep_going:
+        When ``True``, a terminally failed job becomes a
+        :class:`JobFailure` record plus a ``None`` result placeholder and
+        the sweep continues; when ``False`` (default, from
+        ``REPRO_KEEP_GOING``) the first terminal failure raises
+        :class:`SweepAbort`.
+    fault:
+        Optional picklable fault-injection hook ``fault(job, attempt)``
+        run in the executing process before each simulation attempt.
+        Defaults to ``REPRO_FAULT_SPEC`` (parsed) when set.
     """
 
     def __init__(
@@ -192,23 +460,53 @@ class SweepRunner:
         jobs: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
         use_cache: bool = True,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        retry_backoff_s: Optional[float] = None,
+        keep_going: Optional[bool] = None,
+        fault: Optional[Callable[[SweepJob, int], None]] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.workers = jobs if jobs is not None else default_workers()
         self.progress = progress
         self.use_cache = use_cache
+        self.timeout = timeout if timeout is not None else _env_float(TIMEOUT_ENV)
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        resolved_retries = (
+            max_retries if max_retries is not None else _env_int(MAX_RETRIES_ENV)
+        )
+        self.max_retries = (
+            resolved_retries if resolved_retries is not None else DEFAULT_MAX_RETRIES
+        )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        self.retry_backoff_s = (
+            retry_backoff_s if retry_backoff_s is not None else DEFAULT_BACKOFF_S
+        )
+        resolved_keep_going = (
+            keep_going if keep_going is not None else _env_flag(KEEP_GOING_ENV)
+        )
+        self.keep_going = bool(resolved_keep_going)
+        if fault is None:
+            spec = os.environ.get(FAULT_SPEC_ENV, "").strip()
+            if spec:
+                fault = parse_fault_spec(spec)
+        self.fault = fault
         self.last_report: Optional[SweepReport] = None
 
     def _log(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
 
-    def run(self, jobs: Sequence[JobLike]) -> List[SimResult]:
+    def run(self, jobs: Sequence[JobLike]) -> List[Optional[SimResult]]:
         """Run ``jobs``; returns results in submission order.
 
-        The detailed :class:`SweepReport` is available as
-        :attr:`last_report` afterwards (or use :meth:`run_with_report`).
+        Failed jobs (only possible with ``keep_going=True``) appear as
+        ``None`` placeholders at their submission slots. The detailed
+        :class:`SweepReport` is available as :attr:`last_report`
+        afterwards (or use :meth:`run_with_report`).
         """
 
         results, _ = self.run_with_report(jobs)
@@ -216,7 +514,7 @@ class SweepRunner:
 
     def run_with_report(
         self, jobs: Sequence[JobLike]
-    ) -> Tuple[List[SimResult], SweepReport]:
+    ) -> Tuple[List[Optional[SimResult]], SweepReport]:
         from repro.experiments import common
 
         started = time.perf_counter()
@@ -233,7 +531,7 @@ class SweepRunner:
                 unique[key] = job
         report.unique_jobs = len(unique)
 
-        resolved: Dict[str, SimResult] = {}
+        resolved: Dict[str, Optional[SimResult]] = {}
         pending: List[SweepJob] = []
         for key, job in unique.items():
             cached = self._probe_cache(common, key) if self.use_cache else None
@@ -252,21 +550,22 @@ class SweepRunner:
             else:
                 pending.append(job)
 
-        if pending:
-            self._log(
-                f"[sweep] {len(pending)} job(s) to simulate "
-                f"({report.cache_hits} cache hit(s)) on "
-                f"{min(self.workers, len(pending))} worker(s)"
-            )
-            if self.workers == 1 or len(pending) == 1:
-                self._run_serial(common, pending, resolved, report)
-            else:
-                self._run_parallel(common, pending, resolved, report)
-
-        report.jobs_simulated = len(pending)
-        report.wall_clock_s = time.perf_counter() - started
-        self.last_report = report
-        self._log(report.summary())
+        try:
+            if pending:
+                self._log(
+                    f"[sweep] {len(pending)} job(s) to simulate "
+                    f"({report.cache_hits} cache hit(s)) on "
+                    f"{min(self.workers, len(pending))} worker(s)"
+                )
+                if self.workers == 1 or len(pending) == 1:
+                    self._run_serial(common, pending, resolved, report)
+                else:
+                    self._run_parallel(common, pending, resolved, report)
+        finally:
+            report.jobs_simulated = len(pending)
+            report.wall_clock_s = time.perf_counter() - started
+            self.last_report = report
+            self._log(report.summary())
         return [resolved[key] for key in keys], report
 
     # -- cache plumbing ----------------------------------------------------
@@ -296,78 +595,360 @@ class SweepRunner:
         if path is not None and not os.path.exists(path):
             common._store_disk(key, result)
 
+    # -- failure plumbing --------------------------------------------------
+
+    def _backoff_delay(self, failed_attempts: int) -> float:
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        return min(
+            _BACKOFF_CAP_S, self.retry_backoff_s * (2 ** max(0, failed_attempts - 1))
+        )
+
+    def _record_success(
+        self, common, report, resolved, job: SweepJob, key: str, result, duration
+    ) -> None:
+        resolved[key] = result
+        self._absorb(common, job, key, result)
+        report.timings.append(
+            JobTiming(
+                key=key,
+                app_name=job.app_name,
+                scheme=job.config.scheme.value,
+                duration_s=duration,
+                cached=False,
+            )
+        )
+
+    def _record_failure(
+        self,
+        report: SweepReport,
+        resolved,
+        job: SweepJob,
+        key: str,
+        attempts: int,
+        error: BaseException,
+        disposition: str,
+    ) -> None:
+        failure = JobFailure(
+            key=key,
+            app_name=job.app_name,
+            scheme=job.config.scheme.value,
+            attempts=attempts,
+            error=repr(error),
+            disposition=disposition,
+        )
+        report.failures.append(failure)
+        _FAILURE_LOG.append(failure)
+        resolved[key] = None
+        self._log(f"[sweep] FAILED {failure.describe()}")
+        if not self.keep_going:
+            raise SweepAbort(failure, report)
+
     # -- execution strategies ----------------------------------------------
 
     def _run_serial(self, common, pending, resolved, report) -> None:
         total = len(pending)
         for index, job in enumerate(pending, start=1):
             key = job.key()
-            job_started = time.perf_counter()
-            result = common.run_app(
-                job.app_name, job.config, job.scale, use_cache=self.use_cache
-            )
-            duration = time.perf_counter() - job_started
-            resolved[key] = result
-            self._absorb(common, job, key, result)
-            report.timings.append(
-                JobTiming(
-                    key=key,
-                    app_name=job.app_name,
-                    scheme=job.config.scheme.value,
-                    duration_s=duration,
-                    cached=False,
+            attempt = 1
+            while True:
+                job_started = time.perf_counter()
+                try:
+                    if self.fault is not None:
+                        self.fault(job, attempt)
+                    result = common.run_app(
+                        job.app_name, job.config, job.scale, use_cache=self.use_cache
+                    )
+                except Exception as error:
+                    if attempt <= self.max_retries:
+                        report.retries += 1
+                        self._log(
+                            f"[sweep] retrying {job.app_name} "
+                            f"{job.config.scheme.value} "
+                            f"(attempt {attempt} failed: {error!r})"
+                        )
+                        time.sleep(self._backoff_delay(attempt))
+                        attempt += 1
+                        continue
+                    self._record_failure(
+                        report, resolved, job, key, attempt, error, "exception"
+                    )
+                    break
+                duration = time.perf_counter() - job_started
+                self._record_success(
+                    common, report, resolved, job, key, result, duration
                 )
-            )
-            self._log(
-                f"[sweep] {index}/{total} {job.app_name} "
-                f"{job.config.scheme.value} {duration:.2f}s"
-            )
+                self._log(
+                    f"[sweep] {index}/{total} {job.app_name} "
+                    f"{job.config.scheme.value} {duration:.2f}s"
+                )
+                break
 
     def _run_parallel(self, common, pending, resolved, report) -> None:
         total = len(pending)
         done_count = 0
         cache_dir = common._CACHE_DIR if self.use_cache else ""
         workers = min(self.workers, total)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_simulate, job, cache_dir): job for job in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
+        queue: deque = deque(_Pending(job) for job in pending)
+        suspects: List[_Pending] = []
+        in_flight: Dict[Future, _Pending] = {}
+        started_at: Dict[Future, float] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def submit(entry: _Pending) -> bool:
+            try:
+                future = pool.submit(
+                    _simulate,
+                    entry.job,
+                    cache_dir,
+                    self.use_cache,
+                    entry.attempt,
+                    self.fault,
                 )
+            except (BrokenProcessPool, RuntimeError):
+                return False
+            in_flight[future] = entry
+            started_at[future] = time.monotonic()
+            return True
+
+        def recycle_pool(reason: str) -> None:
+            nonlocal pool
+            # A wedged or crashed worker cannot be reclaimed through the
+            # executor: abandon the pool (letting any stragglers finish
+            # and exit on their own) and start fresh. In-flight jobs are
+            # re-queued as innocent collateral — their attempt count is
+            # untouched, so only genuinely failing jobs burn retries.
+            for future, entry in list(in_flight.items()):
+                entry.not_before = 0.0
+                queue.append(entry)
+            in_flight.clear()
+            started_at.clear()
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            self._log(f"[sweep] {reason}; pool recycled, lost jobs re-queued")
+
+        def crash_retry(entry: _Pending, error: BaseException) -> None:
+            # A worker died while this job was in flight. The culprit
+            # cannot be attributed from here (every in-flight future
+            # reports BrokenProcessPool), so retry; once retries are
+            # exhausted, defer to the single-job isolation pass below
+            # rather than declaring the job guilty.
+            if entry.attempt <= self.max_retries:
+                report.retries += 1
+                entry.attempt += 1
+                entry.not_before = time.monotonic() + self._backoff_delay(
+                    entry.attempt - 1
+                )
+                queue.append(entry)
+            else:
+                suspects.append(entry)
+
+        try:
+            while queue or in_flight:
+                now = time.monotonic()
+                submit_failed = False
+                for _ in range(len(queue)):
+                    if len(in_flight) >= workers:
+                        break
+                    entry = queue.popleft()
+                    if entry.not_before > now:
+                        queue.append(entry)
+                        continue
+                    if not submit(entry):
+                        queue.appendleft(entry)
+                        submit_failed = True
+                        break
+                if submit_failed:
+                    recycle_pool("worker pool broke on submit")
+                    continue
+                if not in_flight:
+                    # Everything queued is backing off; sleep to the gate.
+                    gate = min(entry.not_before for entry in queue)
+                    time.sleep(max(0.0, gate - time.monotonic()))
+                    continue
+
+                wait_timeout = None
+                if self.timeout is not None:
+                    nearest = min(
+                        started_at[future] + self.timeout for future in in_flight
+                    )
+                    wait_timeout = max(0.0, nearest - time.monotonic()) + 0.01
+                gates = [e.not_before for e in queue if e.not_before > now]
+                if gates and len(in_flight) < workers:
+                    gate_wait = max(0.0, min(gates) - now) + 0.001
+                    wait_timeout = (
+                        gate_wait
+                        if wait_timeout is None
+                        else min(wait_timeout, gate_wait)
+                    )
+                finished, _ = wait(
+                    set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
+                pool_broken = False
                 for future in finished:
-                    job = futures[future]
+                    entry = in_flight.pop(future)
+                    started_at.pop(future, None)
+                    job = entry.job
                     key = job.key()
-                    result, duration = future.result()
-                    resolved[key] = result
-                    self._absorb(common, job, key, result)
-                    done_count += 1
-                    report.timings.append(
-                        JobTiming(
-                            key=key,
-                            app_name=job.app_name,
-                            scheme=job.config.scheme.value,
-                            duration_s=duration,
-                            cached=False,
+                    try:
+                        result, duration = future.result()
+                    except BrokenProcessPool as error:
+                        pool_broken = True
+                        crash_retry(entry, error)
+                    except Exception as error:
+                        if entry.attempt <= self.max_retries:
+                            report.retries += 1
+                            self._log(
+                                f"[sweep] retrying {job.app_name} "
+                                f"{job.config.scheme.value} "
+                                f"(attempt {entry.attempt} failed: {error!r})"
+                            )
+                            entry.attempt += 1
+                            entry.not_before = time.monotonic() + self._backoff_delay(
+                                entry.attempt - 1
+                            )
+                            queue.append(entry)
+                        else:
+                            self._record_failure(
+                                report,
+                                resolved,
+                                job,
+                                key,
+                                entry.attempt,
+                                error,
+                                "exception",
+                            )
+                    else:
+                        self._record_success(
+                            common, report, resolved, job, key, result, duration
                         )
+                        done_count += 1
+                        self._log(
+                            f"[sweep] {done_count}/{total} {job.app_name} "
+                            f"{job.config.scheme.value} {duration:.2f}s"
+                        )
+                if pool_broken:
+                    recycle_pool("worker process crashed")
+                    continue
+
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    hung = [
+                        future
+                        for future in in_flight
+                        if now - started_at[future] >= self.timeout
+                        and not future.done()
+                    ]
+                    if hung:
+                        for future in hung:
+                            entry = in_flight.pop(future)
+                            started_at.pop(future, None)
+                            job = entry.job
+                            error = FuturesTimeoutError(
+                                f"job exceeded the per-job timeout "
+                                f"({self.timeout:.2f}s)"
+                            )
+                            if entry.attempt <= self.max_retries:
+                                report.retries += 1
+                                self._log(
+                                    f"[sweep] retrying {job.app_name} "
+                                    f"{job.config.scheme.value} "
+                                    f"(attempt {entry.attempt} timed out)"
+                                )
+                                entry.attempt += 1
+                                entry.not_before = (
+                                    time.monotonic()
+                                    + self._backoff_delay(entry.attempt - 1)
+                                )
+                                queue.append(entry)
+                            else:
+                                self._record_failure(
+                                    report,
+                                    resolved,
+                                    job,
+                                    job.key(),
+                                    entry.attempt,
+                                    error,
+                                    "timeout",
+                                )
+                        recycle_pool(f"{len(hung)} job(s) timed out")
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        if suspects:
+            self._run_isolated(common, suspects, resolved, report, cache_dir)
+
+    def _run_isolated(self, common, suspects, resolved, report, cache_dir) -> None:
+        """Crash-attribution fallback: one job per fresh single-worker pool.
+
+        Jobs land here when their retries were exhausted by pool crashes.
+        Run serially in isolation, an innocent bystander completes
+        normally, while a job that kills even its private pool is the
+        culprit and gets a terminal ``"crash"`` record.
+        """
+
+        for entry in suspects:
+            job = entry.job
+            key = job.key()
+            self._log(
+                f"[sweep] isolating {job.app_name} {job.config.scheme.value} "
+                "in a fresh single-worker pool"
+            )
+            solo = ProcessPoolExecutor(max_workers=1)
+            try:
+                future = solo.submit(
+                    _simulate, job, cache_dir, self.use_cache, entry.attempt, self.fault
+                )
+                try:
+                    result, duration = future.result(timeout=self.timeout)
+                except BrokenProcessPool as error:
+                    self._record_failure(
+                        report, resolved, job, key, entry.attempt, error, "crash"
+                    )
+                except FuturesTimeoutError as error:
+                    self._record_failure(
+                        report, resolved, job, key, entry.attempt, error, "timeout"
+                    )
+                except Exception as error:
+                    self._record_failure(
+                        report, resolved, job, key, entry.attempt, error, "exception"
+                    )
+                else:
+                    self._record_success(
+                        common, report, resolved, job, key, result, duration
                     )
                     self._log(
-                        f"[sweep] {done_count}/{total} {job.app_name} "
-                        f"{job.config.scheme.value} {duration:.2f}s"
+                        f"[sweep] isolated {job.app_name} "
+                        f"{job.config.scheme.value} completed in {duration:.2f}s"
                     )
+            finally:
+                solo.shutdown(wait=False, cancel_futures=True)
 
 
 def run_sweep(
     jobs: Sequence[JobLike],
     workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
-) -> List[SimResult]:
+    *,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    keep_going: Optional[bool] = None,
+    fault: Optional[Callable[[SweepJob, int], None]] = None,
+) -> List[Optional[SimResult]]:
     """Convenience wrapper: one-shot :class:`SweepRunner` execution.
 
     Experiment harnesses call this to warm the caches for an enumerated
-    grid before assembling their rows.
+    grid before assembling their rows; fault-tolerance knobs default to
+    the ``REPRO_TIMEOUT`` / ``REPRO_MAX_RETRIES`` / ``REPRO_KEEP_GOING``
+    environment variables.
     """
 
-    return SweepRunner(jobs=workers, progress=progress).run(jobs)
+    return SweepRunner(
+        jobs=workers,
+        progress=progress,
+        timeout=timeout,
+        max_retries=max_retries,
+        keep_going=keep_going,
+        fault=fault,
+    ).run(jobs)

@@ -146,6 +146,10 @@ class Distribution:
         if not self._samples:
             return None
         ordered = sorted(self._samples)
+        # The running-sum mean can round one ULP past the extremes (and
+        # under decimation the exact mean may fall outside the retained
+        # samples' range); a box summary must stay internally ordered.
+        mean = min(max(self.mean, ordered[0]), ordered[-1])
         return BoxStats(
             count=self._count,
             minimum=ordered[0],
@@ -153,24 +157,36 @@ class Distribution:
             median=_percentile(ordered, 0.50),
             q3=_percentile(ordered, 0.75),
             maximum=ordered[-1],
-            mean=self.mean,
+            mean=mean,
         )
 
 
 class PortIdleTracker:
-    """Tracks the distribution of idle gaps between accesses to a port."""
+    """Tracks the distribution of idle gaps between accesses to a port.
+
+    Same-cycle back-to-back accesses are a real zero-idle gap and are
+    recorded as 0 (silently dropping them biased the Figure 4b/5b idle
+    distributions upward). A time-regressing access cannot yield a
+    meaningful gap: it is clamped — not recorded, clock unchanged — and
+    counted in :attr:`regressions` so a misbehaving caller is visible.
+    """
 
     def __init__(self) -> None:
         self._last_access: Optional[int] = None
         self.gaps = Distribution()
         self.accesses = 0
+        self.regressions = 0
 
     def record_access(self, cycle: int) -> None:
         self.accesses += 1
-        if self._last_access is not None and cycle > self._last_access:
-            self.gaps.add(cycle - self._last_access)
-        if self._last_access is None or cycle > self._last_access:
+        if self._last_access is None:
             self._last_access = cycle
+            return
+        if cycle < self._last_access:
+            self.regressions += 1
+            return
+        self.gaps.add(cycle - self._last_access)
+        self._last_access = cycle
 
     def box_stats(self) -> Optional[BoxStats]:
         return self.gaps.box_stats()

@@ -52,6 +52,34 @@ class TestDiskCache:
         assert a.cycles == b.cycles  # but deterministic
 
 
+class TestCacheKeyNormalization:
+    def test_int_and_float_scale_share_one_identity(self):
+        """Regression: ``cache_key(app, cfg, 1)`` and ``…, 1.0)`` used to
+        interpolate different strings, so ``run_app(..., scale=1)`` missed
+        every runner-warmed cache entry and re-simulated."""
+
+        cfg = table1_config()
+        assert common.cache_key("SRAD", cfg, 1) == common.cache_key("SRAD", cfg, 1.0)
+        assert common.cache_key("SRAD", cfg, 2) == common.cache_key("SRAD", cfg, 2.0)
+        # Distinct scales still get distinct identities.
+        assert common.cache_key("SRAD", cfg, 1) != common.cache_key("SRAD", cfg, 2)
+
+    def test_int_scale_run_app_hits_float_warmed_cache(self, monkeypatch):
+        from repro.sim.results import SimResult
+
+        common.clear_cache()
+        cfg = table1_config()
+        sentinel = SimResult(app_name="SRAD", scheme="baseline", cycles=7)
+        common._CACHE[common.cache_key("SRAD", cfg, 3.0)] = sentinel
+
+        def boom(self, app):
+            raise AssertionError("cache miss: re-simulated a warmed scale")
+
+        monkeypatch.setattr(common.GPUSystem, "run", boom)
+        assert common.run_app("SRAD", cfg, scale=3) is sentinel
+        common.clear_cache()
+
+
 class TestConfigSignature:
     def test_signature_distinguishes_configs(self):
         a = common._config_signature(table1_config())

@@ -5,6 +5,7 @@ from the serial path: byte-identical results, submission order preserved,
 and no job simulated more than once. These tests pin all three down.
 """
 
+import dataclasses
 import os
 import time
 
@@ -14,11 +15,14 @@ from repro.config import TxScheme, table1_config
 from repro.experiments import common
 from repro.experiments.fig13_main import sweep_jobs_13bc
 from repro.sim.runner import (
+    JobTiming,
     SweepJob,
+    SweepReport,
     SweepRunner,
     default_workers,
     run_sweep,
 )
+from repro.sim.stats import _percentile as stats_percentile
 
 SCALE = 0.05
 
@@ -126,6 +130,37 @@ class TestOrderingAndDedup:
         assert results[0].scheme == "baseline"
 
 
+class TestCacheIsolation:
+    def test_use_cache_false_ignores_inherited_parent_cache(self):
+        """Regression: under the fork start method a worker inherits the
+        parent's populated in-process ``_CACHE``; with ``use_cache=False``
+        it must never serve from it (it used to, returning stale results
+        for a runner explicitly built to re-simulate)."""
+
+        jobs = small_grid()[:2]
+        genuine = common.run_app(
+            jobs[0].app_name, jobs[0].config, jobs[0].scale, use_cache=False
+        )
+        poisoned = dataclasses.replace(genuine, cycles=genuine.cycles + 987_654)
+        common._CACHE[jobs[0].key()] = poisoned
+
+        results = SweepRunner(jobs=2, use_cache=False).run(jobs)
+
+        assert results[0].cycles == genuine.cycles
+        assert results[0].cycles != poisoned.cycles
+        # And the no-cache run did not overwrite the parent's entry.
+        assert common._CACHE[jobs[0].key()] is poisoned
+
+    def test_use_cache_false_serial_ignores_parent_cache(self):
+        job = small_grid()[0]
+        genuine = common.run_app(job.app_name, job.config, job.scale, use_cache=False)
+        poisoned = dataclasses.replace(genuine, cycles=genuine.cycles + 987_654)
+        common._CACHE[job.key()] = poisoned
+
+        results = SweepRunner(jobs=1, use_cache=False).run([job])
+        assert results[0].cycles == genuine.cycles
+
+
 class TestReport:
     def test_report_timings_and_percentiles(self):
         jobs = small_grid()
@@ -149,6 +184,27 @@ class TestReport:
         runner.run(small_grid()[:1])
         _, report = runner.run_with_report(small_grid()[:1])
         assert "1 cache hits" in report.summary()
+
+    def test_percentiles_use_shared_linear_interpolation(self):
+        """Regression: the report used nearest-rank while every other
+        percentile in the repo interpolates linearly — p50 of
+        [1,2,3,4] must be 2.5, not 3.0."""
+
+        report = SweepReport()
+        durations = [1.0, 2.0, 3.0, 4.0]
+        for index, duration in enumerate(durations):
+            report.timings.append(
+                JobTiming(
+                    key=str(index),
+                    app_name="A",
+                    scheme="baseline",
+                    duration_s=duration,
+                    cached=False,
+                )
+            )
+        assert report.p50_s == stats_percentile(durations, 0.50) == 2.5
+        assert report.p95_s == stats_percentile(durations, 0.95)
+        assert SweepReport().p50_s == 0.0  # empty report stays well-defined
 
 
 class TestWorkerConfiguration:

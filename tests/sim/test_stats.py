@@ -106,6 +106,17 @@ class TestDistribution:
         assert len(dist._samples) == 8
         assert dist.count == 1000
 
+    def test_box_mean_clamped_into_sample_range(self):
+        """Regression: summing three copies of this value rounds the
+        running-sum mean one ULP above the maximum, breaking the
+        ``minimum <= mean <= maximum`` box invariant."""
+
+        value = 174762.81323448202
+        dist = Distribution()
+        dist.extend([value] * 3)
+        box = dist.box_stats()
+        assert box.minimum <= box.mean <= box.maximum
+
     def test_box_stats_is_frozen_dataclass(self):
         box = BoxStats(1, 0, 0, 0, 0, 0, 0)
         with pytest.raises(Exception):
@@ -128,14 +139,18 @@ class TestPortIdleTracker:
         assert box.minimum == 10
         assert box.maximum == 15
 
-    def test_same_cycle_access_ignored_for_gaps(self):
+    def test_same_cycle_access_records_zero_gap(self):
+        # Back-to-back accesses in the same cycle are a real zero-idle
+        # gap; dropping them biased the Fig 4b/5b idle distributions up.
         tracker = PortIdleTracker()
         tracker.record_access(5)
         tracker.record_access(5)
         tracker.record_access(7)
         box = tracker.box_stats()
-        assert box.count == 1
-        assert box.minimum == 2
+        assert box.count == 2
+        assert box.minimum == 0
+        assert box.maximum == 2
+        assert tracker.regressions == 0
 
     def test_out_of_order_access_does_not_regress_clock(self):
         tracker = PortIdleTracker()
@@ -144,3 +159,25 @@ class TestPortIdleTracker:
         tracker.record_access(12)
         box = tracker.box_stats()
         assert box.maximum == 2
+        assert box.count == 1
+
+    def test_regressing_accesses_counted_not_silent(self):
+        tracker = PortIdleTracker()
+        tracker.record_access(10)
+        tracker.record_access(3)
+        tracker.record_access(2)
+        tracker.record_access(11)
+        assert tracker.regressions == 2
+        assert tracker.accesses == 4
+        box = tracker.box_stats()
+        assert box.count == 1
+        assert box.minimum == box.maximum == 1
+
+    def test_zero_gap_burst_then_idle(self):
+        tracker = PortIdleTracker()
+        for cycle in (4, 4, 4, 20):
+            tracker.record_access(cycle)
+        box = tracker.box_stats()
+        assert box.count == 3
+        assert box.minimum == 0
+        assert box.maximum == 16

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import common
 
 
 class TestParser:
@@ -76,3 +77,65 @@ class TestCommands:
         assert main(["config", "--l2-tlb-entries", "8192"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["tlb"]["l2_entries"] == 8192
+
+
+class TestSweepCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated(self, monkeypatch):
+        # cmd_sweep mutates the module-level cache dir; register the
+        # original so monkeypatch restores it, and keep faults out of the
+        # environment unless a test sets them.
+        monkeypatch.setattr(common, "_CACHE_DIR", common._CACHE_DIR)
+        for name in ("REPRO_FAULT_SPEC", "REPRO_TIMEOUT",
+                     "REPRO_MAX_RETRIES", "REPRO_KEEP_GOING"):
+            monkeypatch.delenv(name, raising=False)
+        common.clear_cache()
+        yield
+        common.clear_cache()
+
+    def test_parser_accepts_fault_tolerance_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "fig13", "--jobs", "2", "--timeout", "30",
+            "--max-retries", "5", "--keep-going",
+        ])
+        assert args.timeout == 30.0
+        assert args.max_retries == 5
+        assert args.keep_going is True
+
+    def test_sweep_runs_clean(self, capsys, tmp_path):
+        rc = main([
+            "sweep", "table2", "--jobs", "1", "--scale", "0.05",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table2:" in out
+        assert "FAILED" not in out
+
+    def test_keep_going_with_injected_crash_exits_zero(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        # The CI fault smoke: a 2-worker sweep with one persistently
+        # crashing job must exit 0 and print a populated failure report.
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "ATAX:*:crash")
+        rc = main([
+            "sweep", "table2", "--jobs", "2", "--scale", "0.05",
+            "--cache-dir", str(tmp_path), "--max-retries", "1", "--keep-going",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 job(s) failed terminally" in out
+        assert "ATAX" in out
+
+    def test_terminal_failure_without_keep_going_exits_one(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "ATAX:*:exc")
+        rc = main([
+            "sweep", "table2", "--jobs", "1", "--scale", "0.05",
+            "--cache-dir", str(tmp_path), "--max-retries", "0",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "sweep aborted" in err
+        assert "--keep-going" in err
