@@ -10,7 +10,12 @@ Commands:
 - ``sweep``    — run a named figure's job grid through the parallel
   sweep runner (``--jobs``, ``--scale``, ``--cache-dir``, plus the
   fault-tolerance knobs ``--timeout``, ``--max-retries``,
-  ``--keep-going``).
+  ``--keep-going``; ``--telemetry`` prints the per-job table and, with
+  ``REPRO_PROFILE`` set, the merged cProfile hotspots).
+- ``trace``    — simulate one application with the execution tracer and
+  port timelines attached and export Chrome trace-event JSON (one track
+  per CU/SIMD, per shared port, per page-table walker) for Perfetto /
+  ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -149,6 +154,41 @@ def cmd_report(args) -> int:
     return report_main([args.output])
 
 
+def cmd_trace(args) -> int:
+    from repro.sim.trace import ExecutionTracer, write_chrome_trace
+
+    config = _build_config(args)
+    app = make_app(args.app, scale=args.scale, page_size=config.page_size)
+    system = GPUSystem(config)
+    tracer = ExecutionTracer(max_events=args.max_events)
+    system.attach_tracer(tracer)
+    timelines = system.attach_timelines(max_intervals=args.max_intervals)
+    result = system.run(app)
+    summary = write_chrome_trace(
+        args.out,
+        tracer=tracer,
+        timelines=timelines,
+        metadata={
+            "app": result.app_name,
+            "scheme": result.scheme,
+            "scale": args.scale,
+            "cycles": result.cycles,
+        },
+    )
+    print(f"{result.app_name} on scheme '{result.scheme}' (scale {args.scale}):")
+    print(f"  cycles            {result.cycles:>14,}")
+    print(f"  op events         {len(tracer):>14,}  (dropped {tracer.dropped:,})")
+    intervals = sum(len(sampler) for sampler in timelines.values())
+    print(f"  port intervals    {intervals:>14,}")
+    print(f"  exported          {summary['events']:>14,}  events on "
+          f"{summary['tracks']:,} tracks")
+    by_kind = sorted(tracer.by_kind().items(), key=lambda item: -item[1])
+    for kind, cycles in by_kind[:5]:
+        print(f"    {kind:6s} {cycles:>14,} cycles")
+    print(f"wrote {args.out} (open in https://ui.perfetto.dev)")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro.experiments import common
     from repro.experiments.report import SWEEP_GRIDS
@@ -186,6 +226,19 @@ def cmd_sweep(args) -> int:
         print(f"{args.figure}: {len(report.failures)} job(s) failed terminally:")
         for line in report.failure_lines():
             print(f"  {line}")
+    if args.telemetry:
+        print()
+        print("Per-job telemetry:")
+        print(format_plain(report.telemetry_rows()))
+        if report.hotspots:
+            print()
+            print("Hotspots (cProfile cumulative, merged across workers):")
+            for line in report.hotspot_lines():
+                print(f"  {line}")
+        elif report.profiled:
+            print()
+            print("REPRO_PROFILE set but no jobs were simulated "
+                  "(all cache hits) — no hotspots to report.")
     return 0
 
 
@@ -243,6 +296,26 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
     report_parser.set_defaults(func=cmd_report)
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="simulate one application and export a Chrome/Perfetto trace",
+    )
+    trace_parser.add_argument("app", type=str.upper, choices=app_names())
+    add_common(trace_parser)
+    trace_parser.add_argument(
+        "--out", default="trace.json",
+        help="output path for the Chrome trace-event JSON (default trace.json)",
+    )
+    trace_parser.add_argument(
+        "--max-events", type=int, dest="max_events", default=1_000_000,
+        help="execution-tracer event capacity (default 1,000,000)",
+    )
+    trace_parser.add_argument(
+        "--max-intervals", type=int, dest="max_intervals", default=100_000,
+        help="per-port timeline interval capacity (default 100,000)",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+
     from repro.experiments.report import SWEEP_GRIDS
 
     sweep_parser = sub.add_parser(
@@ -275,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going", dest="keep_going", action="store_true", default=None,
         help="record terminal job failures and keep sweeping instead of "
              "aborting (failed slots resolve to None)",
+    )
+    sweep_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="print the per-job telemetry table (wall time, cache hit/miss, "
+             "attempts, worker pid) and, with REPRO_PROFILE set, the merged "
+             "cProfile hotspots",
     )
     sweep_parser.set_defaults(func=cmd_sweep)
 

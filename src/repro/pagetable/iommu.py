@@ -10,13 +10,13 @@ magnitude more expensive than CPU walks (Section 3.1).
 
 from __future__ import annotations
 
-import heapq
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.config import IOMMUConfig
 from repro.memory.hierarchy import SharedL2
 from repro.pagetable.page_table import PageTable
 from repro.pagetable.walker import PageWalker
+from repro.sim.engine import Port
 from repro.sim.stats import Distribution, Stats
 from repro.tlb.base import TranslationEntry
 from repro.tlb.fully_assoc import FullyAssociativeTLB
@@ -46,8 +46,13 @@ class IOMMU:
             config.l2_tlb_entries, l2_ways, name=f"{name}.l2_tlb", stats=self.stats
         )
         self.walker = PageWalker(config, page_table, shared_l2, stats=self.stats)
-        self._walker_free: List[int] = [0] * config.num_walkers
-        heapq.heapify(self._walker_free)
+        # The walker pool is a Port: one unit per concurrent walker, with
+        # the per-walk occupancy passed at request time. Modelling it as a
+        # Port (rather than a bare free-time heap) gives it the shared
+        # observability surface — busy-cycle accounting and attachable
+        # busy/idle timelines — for free.
+        self.walker_pool = Port(f"{name}.walkers", units=config.num_walkers,
+                                occupancy=0)
         self.queue_delay = Distribution(max_samples=50_000)
 
     def translate(self, vmid: int, vpn: int, anchor: int, vrf_id: int = 0
@@ -75,14 +80,15 @@ class IOMMU:
         latency += self.config.l2_tlb_latency
 
         # Full page-table walk: claim a walker slot (queuing if all busy).
-        walker_free = self._walker_free[0]
-        start = anchor if anchor > walker_free else walker_free
+        # The walk itself never touches the pool, so computing its latency
+        # first and then claiming the slot for exactly that occupancy is
+        # equivalent to the reservation preceding the walk.
+        walk_latency, pfn = self.walker.walk(vmid, vpn, anchor)
+        start = self.walker_pool.request(anchor, walk_latency)
         queue = start - anchor
         if queue:
             self.stats.add(f"{self.name}.walk_queue_cycles", queue)
         self.queue_delay.add(queue)
-        walk_latency, pfn = self.walker.walk(vmid, vpn, anchor)
-        heapq.heapreplace(self._walker_free, start + walk_latency)
         self.stats.add(f"{self.name}.walks")
         latency += queue + walk_latency
 

@@ -1,22 +1,37 @@
 """Simulation engine primitives: stats, resources, the wave scheduler."""
 
 from repro.sim.engine import Port, WaveScheduler
+from repro.sim.profiling import Hotspot, HotspotProfiler, merge_hotspots
 from repro.sim.results import KernelResult, SimResult, geomean, speedup
 from repro.sim.runner import (
     JobFailure,
+    JobTiming,
     SweepAbort,
     SweepJob,
     SweepReport,
     SweepRunner,
+    WorkerOutcome,
+    drain_failures,
+    drain_reports,
     parse_fault_spec,
     run_sweep,
 )
 from repro.sim.stats import BoxStats, Distribution, PortIdleTracker, Stats
+from repro.sim.trace import (
+    ExecutionTracer,
+    TimelineSampler,
+    TraceEvent,
+    write_chrome_trace,
+)
 
 __all__ = [
     "BoxStats",
     "Distribution",
+    "ExecutionTracer",
+    "Hotspot",
+    "HotspotProfiler",
     "JobFailure",
+    "JobTiming",
     "KernelResult",
     "Port",
     "PortIdleTracker",
@@ -26,9 +41,16 @@ __all__ = [
     "SweepJob",
     "SweepReport",
     "SweepRunner",
+    "TimelineSampler",
+    "TraceEvent",
     "WaveScheduler",
+    "WorkerOutcome",
+    "drain_failures",
+    "drain_reports",
     "geomean",
+    "merge_hotspots",
     "parse_fault_spec",
     "speedup",
     "run_sweep",
+    "write_chrome_trace",
 ]

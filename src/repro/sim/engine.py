@@ -34,10 +34,16 @@ class Port:
 
     ``request`` returns the service *start* time; callers add their own
     access latency on top. The port optionally records idle-gap statistics
-    via an attached :class:`PortIdleTracker`.
+    via an attached :class:`PortIdleTracker`, and busy-interval timelines
+    via an attached :class:`~repro.sim.trace.TimelineSampler` (see
+    :meth:`attach_timeline`); both cost a single ``is None`` test per
+    request when detached.
     """
 
-    __slots__ = ("name", "occupancy", "_free_times", "idle_tracker", "busy_cycles")
+    __slots__ = (
+        "name", "occupancy", "_free_times", "idle_tracker", "busy_cycles",
+        "timeline",
+    )
 
     def __init__(
         self,
@@ -58,23 +64,45 @@ class Port:
             PortIdleTracker() if track_idle else None
         )
         self.busy_cycles = 0
+        # Optional TimelineSampler (repro.sim.trace); None costs nothing.
+        self.timeline = None
 
     @property
     def units(self) -> int:
         return len(self._free_times)
 
     def request(self, now: int, occupancy: Optional[int] = None) -> int:
-        """Claim a unit at or after ``now``; returns the start time."""
+        """Claim a unit at or after ``now``; returns the start time.
+
+        A per-call ``occupancy`` overrides the port's default (pools with
+        variable service times, e.g. page-table walkers, pass the actual
+        latency). It is validated like the constructor's: a negative
+        override would free a unit before it started, silently corrupting
+        the queuing model.
+        """
 
         if occupancy is None:
             occupancy = self.occupancy
+        elif occupancy < 0:
+            raise ValueError(
+                f"port {self.name!r} occupancy override must be "
+                f"non-negative, got {occupancy}"
+            )
         earliest = self._free_times[0]
         start = now if now > earliest else earliest
         heapq.heapreplace(self._free_times, start + occupancy)
         self.busy_cycles += occupancy
         if self.idle_tracker is not None:
             self.idle_tracker.record_access(start)
+        if self.timeline is not None:
+            self.timeline.record(start, start + occupancy)
         return start
+
+    def attach_timeline(self, sampler) -> None:
+        """Record busy intervals into ``sampler``
+        (:class:`repro.sim.trace.TimelineSampler`); pass None to detach."""
+
+        self.timeline = sampler
 
     def earliest_free(self) -> int:
         return self._free_times[0]

@@ -1,0 +1,115 @@
+"""Opt-in cProfile hotspot capture for sweeps (``REPRO_PROFILE``).
+
+Set ``REPRO_PROFILE=1`` to wrap every sweep-job simulation — in the parent
+process on the serial path, inside each worker on the parallel path — in a
+``cProfile.Profile``. Each job contributes its top-N functions by
+cumulative time as picklable :class:`Hotspot` records; the runner merges
+them across workers into ``SweepReport.hotspots``, so one sweep answers
+"which functions dominate the grid?" without re-running anything under a
+profiler by hand. ``REPRO_PROFILE=<N>`` (N > 1) widens the per-job top-N.
+
+Profiling costs roughly 1.3-2x per simulated job; it is strictly opt-in
+and has zero cost when the variable is unset (one environment lookup per
+job).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+#: Environment variable enabling hotspot capture.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Per-job top-N when ``REPRO_PROFILE`` is a bare truthy flag.
+DEFAULT_TOP = 20
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One function's aggregate cost: ``file:line(name)``, calls, seconds."""
+
+    function: str
+    calls: int
+    cumulative_s: float
+
+    def describe(self) -> str:
+        return f"{self.cumulative_s:8.3f}s {self.calls:>9} calls  {self.function}"
+
+
+def profile_top() -> int:
+    """Top-N from ``REPRO_PROFILE``; 0 means profiling is disabled."""
+
+    raw = os.environ.get(PROFILE_ENV, "").strip().lower()
+    if raw in _FALSEY:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_TOP
+    if value <= 0:
+        return 0
+    return value if value > 1 else DEFAULT_TOP
+
+
+class HotspotProfiler:
+    """Context manager capturing one job's top-N cumulative functions."""
+
+    def __init__(self, top_n: int = DEFAULT_TOP) -> None:
+        if top_n < 1:
+            raise ValueError(f"top_n must be >= 1, got {top_n}")
+        self.top_n = top_n
+        self._profile = cProfile.Profile()
+
+    def __enter__(self) -> "HotspotProfiler":
+        self._profile.enable()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profile.disable()
+
+    def hotspots(self) -> List[Hotspot]:
+        stats = pstats.Stats(self._profile)
+        entries: List[Hotspot] = []
+        for func, (_, ncalls, _, cumtime, _) in stats.stats.items():  # type: ignore[attr-defined]
+            filename, line, name = func
+            if filename == "~":  # built-ins have no file
+                label = name
+            else:
+                label = f"{os.path.basename(filename)}:{line}({name})"
+            entries.append(
+                Hotspot(function=label, calls=ncalls, cumulative_s=cumtime)
+            )
+        entries.sort(key=lambda h: (-h.cumulative_s, h.function))
+        return entries[: self.top_n]
+
+
+def merge_hotspots(
+    groups: Iterable[Iterable[Hotspot]], top_n: int = DEFAULT_TOP
+) -> List[Hotspot]:
+    """Aggregate per-job hotspot lists into one cross-worker top-N.
+
+    Cumulative seconds and call counts sum per function label; the result
+    is the sweep-wide ranking (note cumulative time counts a function and
+    its callees, so totals across functions over-add by design, exactly
+    as in a single ``cProfile`` report).
+    """
+
+    totals: Dict[str, Tuple[float, int]] = {}
+    for group in groups:
+        for hotspot in group:
+            cum, calls = totals.get(hotspot.function, (0.0, 0))
+            totals[hotspot.function] = (
+                cum + hotspot.cumulative_s, calls + hotspot.calls
+            )
+    merged = [
+        Hotspot(function=function, calls=calls, cumulative_s=cum)
+        for function, (cum, calls) in totals.items()
+    ]
+    merged.sort(key=lambda h: (-h.cumulative_s, h.function))
+    return merged[:top_n]

@@ -32,7 +32,12 @@ such a grid:
   either way).
 - **Observable**: each run produces a :class:`SweepReport` (jobs run,
   cache hits, retries, failures, wall clock, per-job p50/p95) and optional
-  ``log``-style progress lines.
+  ``log``-style progress lines. Every job carries per-job telemetry — wall
+  time, cache hit/miss, attempts, executing worker pid — rendered by
+  ``python -m repro sweep --telemetry`` and the report module's warm-up
+  section. With ``REPRO_PROFILE`` set (see :mod:`repro.sim.profiling`),
+  each simulated job additionally contributes cProfile hotspots that are
+  merged across workers into ``SweepReport.hotspots``.
 
 Fault injection (tests / CI): pass a picklable ``fault`` callable to
 :class:`SweepRunner` — invoked as ``fault(job, attempt)`` in the executing
@@ -59,6 +64,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
+from repro.sim.profiling import (
+    DEFAULT_TOP as DEFAULT_PROFILE_TOP,
+    Hotspot,
+    HotspotProfiler,
+    merge_hotspots,
+    profile_top,
+)
 from repro.sim.results import SimResult
 from repro.sim.stats import _percentile as _linear_percentile
 
@@ -100,13 +112,21 @@ JobLike = Union[SweepJob, Tuple[str, Optional[SystemConfig], Optional[float]]]
 
 @dataclass
 class JobTiming:
-    """Wall-clock record of one unique job within a sweep."""
+    """Per-job telemetry record of one unique job within a sweep.
+
+    ``attempts`` counts executions including the successful one (0 for a
+    cache hit); ``worker_pid`` is the pid of the process that ran the
+    winning attempt (the parent's own pid on the serial path, 0 for a
+    cache hit).
+    """
 
     key: str
     app_name: str
     scheme: str
     duration_s: float
     cached: bool
+    attempts: int = 1
+    worker_pid: int = 0
 
 
 @dataclass
@@ -164,6 +184,10 @@ class SweepReport:
     retries: int = 0
     timings: List[JobTiming] = field(default_factory=list)
     failures: List[JobFailure] = field(default_factory=list)
+    #: True when ``REPRO_PROFILE`` was active for this sweep.
+    profiled: bool = False
+    #: Cross-worker cProfile top-N (empty unless ``profiled``).
+    hotspots: List[Hotspot] = field(default_factory=list)
 
     @property
     def duplicate_jobs(self) -> int:
@@ -193,6 +217,51 @@ class SweepReport:
 
         return [f"[sweep] FAILED {failure.describe()}" for failure in self.failures]
 
+    def telemetry_rows(self) -> List[Dict]:
+        """Per-job telemetry as table rows (``--telemetry`` / report.py).
+
+        One row per unique job in recording order: app, scheme, cache
+        hit/miss, wall seconds, attempts, worker pid; terminal failures
+        append rows of their own so the table covers every unique job.
+        """
+
+        rows: List[Dict] = []
+        for timing in self.timings:
+            rows.append(
+                {
+                    "app": timing.app_name,
+                    "scheme": timing.scheme,
+                    "cached": "hit" if timing.cached else "miss",
+                    "wall_s": f"{timing.duration_s:.3f}",
+                    "attempts": timing.attempts if not timing.cached else 0,
+                    "worker": timing.worker_pid if timing.worker_pid else "-",
+                }
+            )
+        for failure in self.failures:
+            rows.append(
+                {
+                    "app": failure.app_name,
+                    "scheme": failure.scheme,
+                    "cached": "FAILED",
+                    "wall_s": "-",
+                    "attempts": failure.attempts,
+                    "worker": "-",
+                }
+            )
+        return rows
+
+    def slowest_jobs(self, count: int = 5) -> List[JobTiming]:
+        """The ``count`` slowest simulated (non-cached) jobs."""
+
+        simulated = [t for t in self.timings if not t.cached]
+        simulated.sort(key=lambda t: -t.duration_s)
+        return simulated[:count]
+
+    def hotspot_lines(self) -> List[str]:
+        """One line per merged cProfile hotspot (empty unless profiled)."""
+
+        return [hotspot.describe() for hotspot in self.hotspots]
+
     def summary(self) -> str:
         """One ``log``-style line describing the whole sweep."""
 
@@ -221,6 +290,21 @@ def drain_failures() -> List[JobFailure]:
 
     drained = list(_FAILURE_LOG)
     _FAILURE_LOG.clear()
+    return drained
+
+
+#: Process-wide log of completed sweep reports, mirroring the failure
+#: log: callers that drive many sweeps (the report module's warm-up)
+#: surface one combined telemetry summary. Drained by
+#: :func:`drain_reports`.
+_REPORT_LOG: List[SweepReport] = []
+
+
+def drain_reports() -> List[SweepReport]:
+    """Return and clear the process-wide sweep-report log."""
+
+    drained = list(_REPORT_LOG)
+    _REPORT_LOG.clear()
     return drained
 
 
@@ -381,13 +465,28 @@ def _normalize(job: JobLike) -> SweepJob:
     return SweepJob(app_name=app_name, config=config, scale=float(scale))
 
 
+@dataclass
+class WorkerOutcome:
+    """Everything a successful simulation attempt reports back.
+
+    Picklable: crosses the process-pool boundary on the parallel path and
+    is built in-process on the serial path, so both paths feed identical
+    telemetry into :class:`JobTiming` / :class:`SweepReport`.
+    """
+
+    result: SimResult
+    duration_s: float
+    worker_pid: int
+    hotspots: Optional[List[Hotspot]] = None
+
+
 def _simulate(
     job: SweepJob,
     cache_dir: str,
     use_cache: bool = True,
     attempt: int = 1,
     fault: Optional[Callable[[SweepJob, int], None]] = None,
-) -> Tuple[SimResult, float]:
+) -> WorkerOutcome:
     """Worker-side body: simulate one job, honouring the disk cache.
 
     Runs in a separate process under the pool executor. ``cache_dir`` and
@@ -407,8 +506,24 @@ def _simulate(
     started = time.perf_counter()
     if fault is not None:
         fault(job, attempt)
-    result = common.run_app(job.app_name, job.config, job.scale, use_cache=use_cache)
-    return result, time.perf_counter() - started
+    top_n = profile_top()
+    if top_n:
+        with HotspotProfiler(top_n) as profiler:
+            result = common.run_app(
+                job.app_name, job.config, job.scale, use_cache=use_cache
+            )
+        hotspots = profiler.hotspots()
+    else:
+        result = common.run_app(
+            job.app_name, job.config, job.scale, use_cache=use_cache
+        )
+        hotspots = None
+    return WorkerOutcome(
+        result=result,
+        duration_s=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+        hotspots=hotspots,
+    )
 
 
 @dataclass
@@ -495,6 +610,7 @@ class SweepRunner:
                 fault = parse_fault_spec(spec)
         self.fault = fault
         self.last_report: Optional[SweepReport] = None
+        self._hotspot_groups: List[List[Hotspot]] = []
 
     def _log(self, message: str) -> None:
         if self.progress is not None:
@@ -519,7 +635,12 @@ class SweepRunner:
 
         started = time.perf_counter()
         normalized = [_normalize(job) for job in jobs]
-        report = SweepReport(jobs_submitted=len(normalized), workers=self.workers)
+        report = SweepReport(
+            jobs_submitted=len(normalized),
+            workers=self.workers,
+            profiled=bool(profile_top()),
+        )
+        self._hotspot_groups: List[List[Hotspot]] = []
 
         # Deduplicate by cache key, keeping first-submission order.
         unique: Dict[str, SweepJob] = {}
@@ -545,6 +666,8 @@ class SweepRunner:
                         scheme=job.config.scheme.value,
                         duration_s=0.0,
                         cached=True,
+                        attempts=0,
+                        worker_pid=0,
                     )
                 )
             else:
@@ -564,7 +687,12 @@ class SweepRunner:
         finally:
             report.jobs_simulated = len(pending)
             report.wall_clock_s = time.perf_counter() - started
+            if self._hotspot_groups:
+                report.hotspots = merge_hotspots(
+                    self._hotspot_groups, profile_top() or DEFAULT_PROFILE_TOP
+                )
             self.last_report = report
+            _REPORT_LOG.append(report)
             self._log(report.summary())
         return [resolved[key] for key in keys], report
 
@@ -605,17 +733,28 @@ class SweepRunner:
         )
 
     def _record_success(
-        self, common, report, resolved, job: SweepJob, key: str, result, duration
+        self,
+        common,
+        report,
+        resolved,
+        job: SweepJob,
+        key: str,
+        outcome: WorkerOutcome,
+        attempts: int,
     ) -> None:
-        resolved[key] = result
-        self._absorb(common, job, key, result)
+        resolved[key] = outcome.result
+        self._absorb(common, job, key, outcome.result)
+        if outcome.hotspots:
+            self._hotspot_groups.append(outcome.hotspots)
         report.timings.append(
             JobTiming(
                 key=key,
                 app_name=job.app_name,
                 scheme=job.config.scheme.value,
-                duration_s=duration,
+                duration_s=outcome.duration_s,
                 cached=False,
+                attempts=attempts,
+                worker_pid=outcome.worker_pid,
             )
         )
 
@@ -656,9 +795,20 @@ class SweepRunner:
                 try:
                     if self.fault is not None:
                         self.fault(job, attempt)
-                    result = common.run_app(
-                        job.app_name, job.config, job.scale, use_cache=self.use_cache
-                    )
+                    top_n = profile_top()
+                    if top_n:
+                        with HotspotProfiler(top_n) as profiler:
+                            result = common.run_app(
+                                job.app_name, job.config, job.scale,
+                                use_cache=self.use_cache,
+                            )
+                        hotspots: Optional[List[Hotspot]] = profiler.hotspots()
+                    else:
+                        result = common.run_app(
+                            job.app_name, job.config, job.scale,
+                            use_cache=self.use_cache,
+                        )
+                        hotspots = None
                 except Exception as error:
                     if attempt <= self.max_retries:
                         report.retries += 1
@@ -675,8 +825,14 @@ class SweepRunner:
                     )
                     break
                 duration = time.perf_counter() - job_started
+                outcome = WorkerOutcome(
+                    result=result,
+                    duration_s=duration,
+                    worker_pid=os.getpid(),
+                    hotspots=hotspots,
+                )
                 self._record_success(
-                    common, report, resolved, job, key, result, duration
+                    common, report, resolved, job, key, outcome, attempt
                 )
                 self._log(
                     f"[sweep] {index}/{total} {job.app_name} "
@@ -792,7 +948,7 @@ class SweepRunner:
                     job = entry.job
                     key = job.key()
                     try:
-                        result, duration = future.result()
+                        outcome = future.result()
                     except BrokenProcessPool as error:
                         pool_broken = True
                         crash_retry(entry, error)
@@ -821,12 +977,14 @@ class SweepRunner:
                             )
                     else:
                         self._record_success(
-                            common, report, resolved, job, key, result, duration
+                            common, report, resolved, job, key, outcome,
+                            entry.attempt,
                         )
                         done_count += 1
                         self._log(
                             f"[sweep] {done_count}/{total} {job.app_name} "
-                            f"{job.config.scheme.value} {duration:.2f}s"
+                            f"{job.config.scheme.value} "
+                            f"{outcome.duration_s:.2f}s"
                         )
                 if pool_broken:
                     recycle_pool("worker process crashed")
@@ -901,7 +1059,7 @@ class SweepRunner:
                     _simulate, job, cache_dir, self.use_cache, entry.attempt, self.fault
                 )
                 try:
-                    result, duration = future.result(timeout=self.timeout)
+                    outcome = future.result(timeout=self.timeout)
                 except BrokenProcessPool as error:
                     self._record_failure(
                         report, resolved, job, key, entry.attempt, error, "crash"
@@ -916,11 +1074,12 @@ class SweepRunner:
                     )
                 else:
                     self._record_success(
-                        common, report, resolved, job, key, result, duration
+                        common, report, resolved, job, key, outcome, entry.attempt
                     )
                     self._log(
                         f"[sweep] isolated {job.app_name} "
-                        f"{job.config.scheme.value} completed in {duration:.2f}s"
+                        f"{job.config.scheme.value} completed in "
+                        f"{outcome.duration_s:.2f}s"
                     )
             finally:
                 solo.shutdown(wait=False, cancel_futures=True)

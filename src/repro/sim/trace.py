@@ -1,10 +1,21 @@
-"""Optional execution tracing.
+"""Optional execution tracing and timeline telemetry.
 
-Attach an :class:`ExecutionTracer` to a :class:`~repro.system.GPUSystem`
-before running to record one event per executed macro-op: which CU/SIMD ran
-it, the op kind, and its issue/completion times. Traces answer "where did
-the cycles go?" at wave granularity — the question every calibration session
-starts with — and export to JSON-lines for external tooling.
+Two recorders answer "where did the cycles go?":
+
+- :class:`ExecutionTracer` — attach via
+  :meth:`~repro.system.GPUSystem.attach_tracer` to record one event per
+  executed macro-op: which CU/SIMD ran it, the op kind, and its
+  issue/completion times. Exports to JSON-lines for external tooling.
+- :class:`TimelineSampler` — attach to any
+  :class:`~repro.sim.engine.Port` (or every interesting port at once via
+  :meth:`~repro.system.GPUSystem.attach_timelines`) to record the port's
+  busy intervals, one lane per service unit. Back-to-back busy intervals
+  coalesce, and the recorder is bounded-memory like the tracer.
+
+Both feed :func:`write_chrome_trace`, which renders everything as Chrome
+trace-event JSON — one track per CU/SIMD, per shared port, and per
+page-table walker — viewable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``. ``python -m repro trace`` is the one-shot CLI.
 
 Tracing is off by default and costs nothing when detached (a single ``is
 None`` test per op).
@@ -12,9 +23,10 @@ None`` test per op).
 
 from __future__ import annotations
 
+import heapq
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -84,12 +96,213 @@ class ExecutionTracer:
         return [event for event in self.events if event.cu_id == cu_id]
 
     def to_jsonl(self, path: Optional[str] = None) -> Optional[str]:
-        """Serialize events as JSON lines (to a file, or returned)."""
+        """Serialize events as JSON lines (to a file, or returned).
 
-        lines = (json.dumps(event.__dict__, sort_keys=True) for event in self.events)
+        The last line is a ``{"meta": ...}`` trailer carrying ``recorded``,
+        ``dropped`` and ``max_events``, so a truncated trace is detectable
+        downstream instead of silently passing for a complete one.
+        """
+
+        meta = json.dumps(
+            {
+                "meta": {
+                    "recorded": len(self.events),
+                    "dropped": self.dropped,
+                    "max_events": self.max_events,
+                }
+            },
+            sort_keys=True,
+        )
+        lines = [json.dumps(event.__dict__, sort_keys=True) for event in self.events]
+        lines.append(meta)
         if path is None:
             return "\n".join(lines)
         with open(path, "w") as handle:
             for line in lines:
                 handle.write(line + "\n")
         return None
+
+
+class TimelineSampler:
+    """Bounded recorder of one port's busy intervals, lane by lane.
+
+    A :class:`~repro.sim.engine.Port` with ``units`` service units calls
+    :meth:`record` once per accepted request; the sampler assigns each
+    interval to the lane that frees the earliest — the same policy the
+    port's own free-time heap uses — so a pool (e.g. the IOMMU's 32 page
+    table walkers) renders as one timeline row per unit.
+
+    Memory is bounded by ``max_intervals``: contiguous busy intervals on a
+    lane coalesce (a saturated port costs one interval, not thousands),
+    and once full, further intervals are counted in :attr:`dropped`
+    rather than stored — mirroring ``ExecutionTracer.max_events``.
+    """
+
+    __slots__ = (
+        "name", "max_intervals", "dropped", "intervals", "_lane_heap",
+        "_lane_last",
+    )
+
+    def __init__(
+        self, name: str, lanes: int = 1, max_intervals: int = 100_000
+    ) -> None:
+        if lanes < 1:
+            raise ValueError(f"timeline {name!r} needs at least one lane")
+        if max_intervals < 1:
+            raise ValueError(f"timeline {name!r} needs room for one interval")
+        self.name = name
+        self.max_intervals = max_intervals
+        self.dropped = 0
+        #: Recorded ``[lane, start, end]`` triples (mutable for coalescing).
+        self.intervals: List[List[int]] = []
+        # (free_time, lane) min-heap mirroring Port's unit selection.
+        self._lane_heap: List[Tuple[int, int]] = [(0, i) for i in range(lanes)]
+        self._lane_last: List[Optional[List[int]]] = [None] * lanes
+
+    @property
+    def lanes(self) -> int:
+        return len(self._lane_heap)
+
+    def record(self, start: int, end: int) -> None:
+        """Record one busy interval ``[start, end)`` on the freest lane."""
+
+        _, lane = self._lane_heap[0]
+        heapq.heapreplace(self._lane_heap, (end, lane))
+        last = self._lane_last[lane]
+        if last is not None and last[2] == start:
+            last[2] = end  # contiguous with the lane's previous interval
+            return
+        if len(self.intervals) >= self.max_intervals:
+            self.dropped += 1
+            self._lane_last[lane] = None
+            return
+        interval = [lane, start, end]
+        self.intervals.append(interval)
+        self._lane_last[lane] = interval
+
+    def busy_time(self) -> int:
+        """Total recorded busy cycles across all lanes."""
+
+        return sum(end - start for _, start, end in self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export
+# ---------------------------------------------------------------------------
+
+#: Process id hosting every shared-port / walker track; CU ``n`` gets
+#: process id ``n + 1`` (pid 0 is reserved by the trace viewers).
+PORTS_PID = 1001
+
+
+def chrome_trace_events(
+    tracer: Optional[ExecutionTracer] = None,
+    timelines: Optional[Mapping[str, TimelineSampler]] = None,
+) -> List[Dict]:
+    """Flatten a tracer and/or port timelines into trace-event dicts.
+
+    Complete events (``"ph": "X"``) carry ``ts``/``dur`` in simulated
+    cycles; metadata events name one process per CU (threads = SIMDs) and
+    one shared process whose threads are the ports, with one thread per
+    lane for multi-unit pools (the page-table walkers).
+    """
+
+    events: List[Dict] = []
+    if tracer is not None and tracer.events:
+        seen_cus: Dict[int, set] = {}
+        for event in tracer.events:
+            seen_cus.setdefault(event.cu_id, set()).add(event.simd_index)
+        for cu_id in sorted(seen_cus):
+            pid = cu_id + 1
+            events.append(_meta(pid, 0, "process_name", f"CU {cu_id}"))
+            for simd in sorted(seen_cus[cu_id]):
+                events.append(_meta(pid, simd, "thread_name", f"SIMD {simd}"))
+        for event in tracer.events:
+            events.append(
+                {
+                    "name": event.op_kind,
+                    "cat": "op",
+                    "ph": "X",
+                    "pid": event.cu_id + 1,
+                    "tid": event.simd_index,
+                    "ts": event.issued_at,
+                    "dur": event.duration,
+                    "args": {"kernel": event.kernel_name, "wg": event.wg_id},
+                }
+            )
+    if timelines:
+        events.append(_meta(PORTS_PID, 0, "process_name", "shared ports"))
+        tid = 0
+        for name in sorted(timelines):
+            sampler = timelines[name]
+            if not sampler.intervals:
+                continue
+            lane_tids: Dict[int, int] = {}
+            for lane, start, end in sampler.intervals:
+                lane_tid = lane_tids.get(lane)
+                if lane_tid is None:
+                    lane_tid = lane_tids[lane] = tid
+                    track = name if sampler.lanes == 1 else f"{name}[{lane}]"
+                    events.append(_meta(PORTS_PID, lane_tid, "thread_name", track))
+                    tid += 1
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "port",
+                        "ph": "X",
+                        "pid": PORTS_PID,
+                        "tid": lane_tid,
+                        "ts": start,
+                        "dur": end - start,
+                        "args": {"lane": lane},
+                    }
+                )
+    return events
+
+
+def _meta(pid: int, tid: int, kind: str, name: str) -> Dict:
+    return {
+        "name": kind,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Optional[ExecutionTracer] = None,
+    timelines: Optional[Mapping[str, TimelineSampler]] = None,
+    metadata: Optional[Dict] = None,
+) -> Dict[str, int]:
+    """Write a Chrome trace-event JSON object file; returns a summary.
+
+    The output is the standard ``{"traceEvents": [...]}`` object format,
+    loadable by Perfetto and ``chrome://tracing``. ``metadata`` lands in
+    ``otherData`` alongside drop counters, so truncated recordings stay
+    detectable after export. Returns ``{"events": N, "tracks": M}``.
+    """
+
+    events = chrome_trace_events(tracer=tracer, timelines=timelines)
+    other: Dict = dict(metadata or {})
+    if tracer is not None:
+        other["op_events_recorded"] = len(tracer.events)
+        other["op_events_dropped"] = tracer.dropped
+    if timelines:
+        other["timeline_intervals"] = sum(len(s) for s in timelines.values())
+        other["timeline_intervals_dropped"] = sum(
+            s.dropped for s in timelines.values()
+        )
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": other,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    tracks = sum(1 for event in events if event["ph"] == "M")
+    return {"events": len(events), "tracks": tracks}

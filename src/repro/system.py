@@ -266,7 +266,9 @@ class GPUSystem:
         Returns one :class:`SimResult` per application; ``cycles`` is the
         application's own completion time. Counters are system-wide
         (structures are shared), so per-app counter attribution is limited
-        to what the CU partitioning itself separates.
+        to what the CU partitioning itself separates — but each result
+        carries its *own* counters dict (and distributions), so mutating
+        one result can never alias into another.
         """
 
         if len(apps) != len(cu_partitions):
@@ -301,13 +303,15 @@ class GPUSystem:
         counters = self.stats.delta_since(app_snapshot)
         total_cycles = max(progress.finished_at for progress in progresses)
         self._finalize_counters(counters, total_cycles)
+        distributions = self._collect_distributions()
         return [
             SimResult(
                 app_name=progress.app.name,
                 scheme=self.config.scheme.value,
                 cycles=progress.finished_at,
-                counters=counters,
+                counters=dict(counters),
                 kernels=progress.kernel_results,
+                distributions=dict(distributions),
             )
             for progress in progresses
         ]
@@ -331,6 +335,47 @@ class GPUSystem:
 
         for cu in self.cus:
             cu.tracer = tracer
+
+    def telemetry_ports(self) -> Dict[str, "Port"]:
+        """Every shared port worth a timeline track, under a unique name.
+
+        Structure constructors reuse generic names ("lds.port" on every
+        CU), so this map synthesizes stable, unique track names: the
+        shared L2 TLB port, the IOMMU walker pool (one lane per walker),
+        each CU group's I-cache fetch port, and each CU's LDS port.
+        """
+
+        ports: Dict[str, Port] = {
+            "l2_tlb.port": self.l2_tlb_port,
+            "iommu.walkers": self.iommu.walker_pool,
+        }
+        for index, icache in enumerate(self.icaches):
+            ports[f"icache{index}.port"] = icache.port
+        for cu in self.cus:
+            ports[f"cu{cu.cu_id}.lds.port"] = cu.lds.port
+        return ports
+
+    def attach_timelines(self, max_intervals: int = 100_000):
+        """Attach a bounded busy/idle timeline sampler to every telemetry
+        port (:meth:`telemetry_ports`); returns ``{name: sampler}`` ready
+        for :func:`repro.sim.trace.write_chrome_trace`."""
+
+        from repro.sim.trace import TimelineSampler
+
+        samplers = {}
+        for name, port in self.telemetry_ports().items():
+            sampler = TimelineSampler(
+                name, lanes=port.units, max_intervals=max_intervals
+            )
+            port.attach_timeline(sampler)
+            samplers[name] = sampler
+        return samplers
+
+    def detach_timelines(self) -> None:
+        """Detach all timeline samplers (ports go back to zero-cost)."""
+
+        for port in self.telemetry_ports().values():
+            port.attach_timeline(None)
 
     def driver_shootdown(self, vpns, now: int = 0):
         """Driver-initiated shootdown through the PM4-style command path.
@@ -357,6 +402,14 @@ class _AppProgress:
         self.kernel_results: List[KernelResult] = []
         self._invocations: Dict[str, int] = {}
         self._kernel_started_at = 0
+        # The I-caches this app's partition fetches through (a group's
+        # I-cache may be shared with a neighbouring partition; the
+        # kernel-boundary flush then affects co-resident lines exactly as
+        # the shared hardware would).
+        self.icaches: List = []
+        for cu in dispatcher.cus:
+            if cu.icache not in self.icaches:
+                self.icaches.append(cu.icache)
 
     def launch_next(self, now: int) -> None:
         kernel = self.app.kernels[self.next_kernel]
@@ -384,6 +437,13 @@ class _AppProgress:
             )
         )
         if self.next_kernel < len(self.app.kernels):
+            # Mirror GPUSystem.run's inter-kernel step: fire the Section
+            # 4.3.3 kernel-boundary I-cache hook (the flush policy was
+            # silently inert in concurrent mode before this) on this
+            # app's I-caches, then launch after the host-side overhead.
+            same = self.app.kernels[self.next_kernel].name == kernel.name
+            for icache in self.icaches:
+                icache.on_kernel_boundary(same)
             self.launch_next(now + KERNEL_LAUNCH_OVERHEAD)
         else:
             self.finished_at = now

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim.engine import Port, WaveScheduler
+from repro.sim.trace import TimelineSampler
 
 
 class TestPort:
@@ -69,6 +70,41 @@ class TestPort:
         port = Port("p", units=1, occupancy=10)
         port.request(0)
         assert port.request(2) == 10
+
+    def test_negative_occupancy_override_rejected(self):
+        # The constructor validates occupancy; the per-call override must
+        # not be a backdoor around that check.
+        port = Port("p", units=1, occupancy=1)
+        with pytest.raises(ValueError):
+            port.request(0, occupancy=-5)
+
+    def test_zero_occupancy_override_allowed(self):
+        port = Port("p", units=1, occupancy=3)
+        assert port.request(0, occupancy=0) == 0
+        assert port.request(0) == 0  # zero-length service frees instantly
+
+    def test_timeline_records_busy_intervals(self):
+        port = Port("p", units=1, occupancy=4)
+        sampler = TimelineSampler("p")
+        port.attach_timeline(sampler)
+        port.request(0)
+        port.request(10)
+        assert sampler.intervals == [[0, 0, 4], [0, 10, 14]]
+
+    def test_timeline_detach(self):
+        port = Port("p", units=1, occupancy=4)
+        sampler = TimelineSampler("p")
+        port.attach_timeline(sampler)
+        port.attach_timeline(None)
+        port.request(0)
+        assert len(sampler) == 0
+
+    def test_timeline_uses_effective_occupancy(self):
+        port = Port("p", units=1, occupancy=1)
+        sampler = TimelineSampler("p")
+        port.attach_timeline(sampler)
+        port.request(5, occupancy=20)
+        assert sampler.intervals == [[0, 5, 25]]
 
 
 class TestWaveScheduler:

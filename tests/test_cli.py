@@ -139,3 +139,62 @@ class TestSweepCommand:
         err = capsys.readouterr().err
         assert "sweep aborted" in err
         assert "--keep-going" in err
+
+    def test_sweep_telemetry_prints_per_job_columns(self, capsys, tmp_path):
+        rc = main([
+            "sweep", "table2", "--jobs", "1", "--scale", "0.05",
+            "--cache-dir", str(tmp_path), "--telemetry",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Per-job telemetry:" in out
+        assert "wall_s" in out
+        assert "cached" in out
+        assert "miss" in out
+        # Warm re-run: same command now reports cache hits.
+        rc = main([
+            "sweep", "table2", "--jobs", "1", "--scale", "0.05",
+            "--cache-dir", str(tmp_path), "--telemetry",
+        ])
+        assert rc == 0
+        assert "hit" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_parser_uppercases_app(self):
+        args = build_parser().parse_args(["trace", "gups"])
+        assert args.app == "GUPS"
+        assert args.out == "trace.json"
+
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        rc = main([
+            "trace", "gups", "--scale", "0.05", "--out", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        payload = json.loads(out_path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        names = {
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert "CU 0" in names
+        assert any(name.startswith("iommu.walkers") for name in names)
+        assert any("port" in name for name in names)
+        assert all(
+            e["dur"] >= 0 and e["ts"] >= 0 for e in events if e["ph"] == "X"
+        )
+        assert payload["otherData"]["app"] == "GUPS"
+
+    def test_trace_respects_max_events(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        rc = main([
+            "trace", "gups", "--scale", "0.05", "--out", str(out_path),
+            "--max-events", "10",
+        ])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["otherData"]["op_events_recorded"] == 10
+        assert payload["otherData"]["op_events_dropped"] > 0

@@ -88,6 +88,54 @@ class TestConcurrentExecution:
                 for key in segment:
                     assert key[0] == 0
 
+    def test_result_counters_do_not_alias(self):
+        # Regression: run_concurrent used to hand every SimResult the SAME
+        # counters dict, so mutating one result's counters corrupted all
+        # the others.
+        system = GPUSystem(table1_config())
+        results = system.run_concurrent(
+            [make_tiny_app("a", kernels=1), make_tiny_app("b", kernels=1)],
+            [[0, 1, 2, 3], [4, 5, 6, 7]],
+        )
+        assert results[0].counters is not results[1].counters
+        before = dict(results[1].counters)
+        results[0].counters["instructions"] = -1
+        results[0].counters["injected_marker"] = 123
+        assert results[1].counters == before
+
+    def test_concurrent_results_carry_distributions(self):
+        # Regression: concurrent mode used to omit distributions entirely.
+        system = GPUSystem(table1_config())
+        results = system.run_concurrent(
+            [make_tiny_app("a", kernels=1), make_tiny_app("b", kernels=1)],
+            [[0, 1, 2, 3], [4, 5, 6, 7]],
+        )
+        for result in results:
+            assert result.distributions
+        assert results[0].distributions is not results[1].distributions
+        assert results[0].distributions.keys() == results[1].distributions.keys()
+
+    def test_kernel_boundary_hook_fires_per_app(self):
+        # Regression: concurrent mode never fired the Section 4.3.3
+        # kernel-boundary I-cache hook between an app's kernels.
+        system = GPUSystem(table1_config())
+        calls = []
+        for index, icache in enumerate(system.icaches):
+            def spy(same, _index=index):
+                calls.append((_index, same))
+
+            icache.on_kernel_boundary = spy
+        system.run_concurrent(
+            [make_tiny_app("a", kernels=3)], [[0, 1, 2, 3, 4, 5, 6, 7]]
+        )
+        # 3 kernels => 2 boundaries, each hitting every I-cache in the
+        # app's partition (all groups here).
+        boundaries = len(calls) // len(system.icaches)
+        assert boundaries == 2
+        assert len(calls) == 2 * len(system.icaches)
+        # make_tiny_app numbers kernels uniquely, so `same` is False.
+        assert all(same is False for _, same in calls)
+
     def test_concurrent_vs_sequential_work_conservation(self):
         seq_system = GPUSystem(table1_config())
         seq_a = seq_system.run(make_tiny_app("a", kernels=1))
