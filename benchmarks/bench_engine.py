@@ -1,0 +1,109 @@
+"""Record event-vs-vectorized engine wall time as a perf-trajectory artifact.
+
+Runs a reduced Figure 13 grid (one job per application, rotating through
+the scheme variants — the same diagonal the equivalence battery uses)
+through both engines plus the analytical estimator, verifies byte
+identity on the way, and writes the honest timings to a JSON file that CI
+uploads on every run. Plotting the artifact over commits shows the fast
+paths' trajectory; a vectorized/event ratio drifting toward 1.0 means the
+fast path has rotted.
+
+The vectorized engine's contract is byte identity, so it removes
+interpreter overhead only — expect roughly 1.0-1.6x here, not an
+order of magnitude (docs/MODEL.md section 9.1).
+
+Usage: python benchmarks/bench_engine.py [--scale 0.05] [--out BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.experiments.common import result_fingerprint
+from repro.experiments.fig13_main import sweep_jobs
+from repro.sim.analytical import estimate_app
+from repro.system import GPUSystem
+from repro.workloads.registry import make_app
+
+
+def _diagonal(scale):
+    jobs = sweep_jobs(scale=scale)
+    apps = list(dict.fromkeys(job.app_name for job in jobs))
+    per_app = {name: [j for j in jobs if j.app_name == name] for name in apps}
+    return [
+        variants[index % len(variants)]
+        for index, variants in enumerate(per_app[name] for name in apps)
+    ]
+
+
+def _timed(func):
+    start = time.perf_counter()
+    value = func()
+    return value, time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--out", default="BENCH_engine.json")
+    args = parser.parse_args()
+
+    rows = []
+    for job in _diagonal(args.scale):
+        app = make_app(
+            job.app_name, scale=job.scale, page_size=job.config.page_size
+        )
+        event, event_s = _timed(lambda: GPUSystem(job.config).run(app))
+        vector, vector_s = _timed(
+            lambda: GPUSystem(job.config.with_engine("vectorized")).run(app)
+        )
+        assert result_fingerprint(event) == result_fingerprint(vector), (
+            f"{job.app_name}/{job.config.scheme.value}: engines diverged"
+        )
+        _, estimate_s = _timed(
+            lambda: estimate_app(job.app_name, job.config, job.scale)
+        )
+        rows.append(
+            {
+                "app": job.app_name,
+                "scheme": job.config.scheme.value,
+                "event_s": round(event_s, 4),
+                "vectorized_s": round(vector_s, 4),
+                "estimate_s": round(estimate_s, 4),
+                "speedup": round(event_s / vector_s, 3) if vector_s else None,
+            }
+        )
+        print(
+            f"{job.app_name:5s} {job.config.scheme.value:18s} "
+            f"event {event_s:6.3f}s  vectorized {vector_s:6.3f}s "
+            f"({event_s / vector_s:4.2f}x)  estimate {estimate_s:6.3f}s"
+        )
+
+    total_event = sum(row["event_s"] for row in rows)
+    total_vector = sum(row["vectorized_s"] for row in rows)
+    payload = {
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "jobs": len(rows),
+        "total_event_s": round(total_event, 4),
+        "total_vectorized_s": round(total_vector, 4),
+        "overall_speedup": (
+            round(total_event / total_vector, 3) if total_vector else None
+        ),
+        "rows": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(
+        f"\n{len(rows)} jobs: event {total_event:.2f}s, vectorized "
+        f"{total_vector:.2f}s ({payload['overall_speedup']}x) -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

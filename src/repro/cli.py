@@ -12,6 +12,10 @@ Commands:
   fault-tolerance knobs ``--timeout``, ``--max-retries``,
   ``--keep-going``; ``--telemetry`` prints the per-job table and, with
   ``REPRO_PROFILE`` set, the merged cProfile hotspots).
+- ``estimate`` — analytical model (``repro.sim.analytical``): predict
+  PTW-PKI and scheme speedups from a functional replay of the wave
+  programs, with no timing simulation; ``--compare`` validates the
+  prediction against the simulator inline.
 - ``trace``    — simulate one application with the execution tracer and
   port timelines attached and export Chrome trace-event JSON (one track
   per CU/SIMD, per shared port, per page-table walker) for Perfetto /
@@ -54,6 +58,8 @@ def _build_config(args) -> SystemConfig:
         config = config.with_page_size(args.page_size)
     if getattr(args, "l2_tlb_entries", None):
         config = config.with_l2_tlb_entries(args.l2_tlb_entries)
+    if getattr(args, "engine", None):
+        config = config.with_engine(args.engine)
     return config
 
 
@@ -196,8 +202,10 @@ def cmd_sweep(args) -> int:
 
     if args.cache_dir:
         common._CACHE_DIR = args.cache_dir
+    from repro.sim.runner import jobs_with_engine
+
     grid = SWEEP_GRIDS[args.figure]
-    jobs = grid(args.scale)
+    jobs = jobs_with_engine(grid(args.scale), getattr(args, "engine", None))
     try:
         runner = SweepRunner(
             jobs=args.jobs,
@@ -242,6 +250,89 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+#: Scheme arms estimated per figure by ``repro estimate``.
+_ESTIMATE_FIGURES = {
+    "table2": (TxScheme.BASELINE,),
+    "fig13": (
+        TxScheme.BASELINE,
+        TxScheme.LDS_ONLY,
+        TxScheme.ICACHE_ONLY,
+        TxScheme.ICACHE_LDS,
+    ),
+}
+
+
+def cmd_estimate(args) -> int:
+    from repro.experiments.common import gmean_speedup
+    from repro.sim.analytical import estimate_app
+
+    schemes = _ESTIMATE_FIGURES[args.figure]
+    apps = [name.upper() for name in args.apps] if args.apps else app_names()
+    base_config = _build_config(args)
+    rows = []
+    est_speedups = {scheme: [] for scheme in schemes}
+    sim_speedups = {scheme: [] for scheme in schemes}
+    for app in apps:
+        base_est = None
+        base_sim = None
+        for scheme in schemes:
+            config = base_config.with_scheme(scheme)
+            estimate = estimate_app(app, config, args.scale)
+            if base_est is None:
+                base_est = estimate
+            speedup = (
+                base_est.est_cycles / estimate.est_cycles
+                if estimate.est_cycles else 1.0
+            )
+            est_speedups[scheme].append(speedup)
+            row = {
+                "app": app,
+                "scheme": scheme.value,
+                "est_ptw_pki": estimate.ptw_pki,
+                "est_walks": estimate.page_walks,
+                "est_speedup": speedup,
+            }
+            if args.compare:
+                # The vectorized engine is byte-identical to the event
+                # engine and shares its cache identity, so comparing
+                # against it compares against the simulator, faster.
+                result = _run_one(
+                    app, config.with_engine("vectorized"), args.scale
+                )
+                if base_sim is None:
+                    base_sim = result
+                sim_speedup = base_sim.cycles / result.cycles
+                sim_speedups[scheme].append(sim_speedup)
+                row["sim_ptw_pki"] = result.ptw_pki
+                row["pki_err_pct"] = (
+                    100.0 * (estimate.ptw_pki - result.ptw_pki) / result.ptw_pki
+                    if result.ptw_pki else 0.0
+                )
+                row["sim_speedup"] = sim_speedup
+            rows.append(row)
+    if len(schemes) > 1:
+        for scheme in schemes:
+            row = {
+                "app": "GMEAN",
+                "scheme": scheme.value,
+                "est_speedup": gmean_speedup(est_speedups[scheme]),
+            }
+            if args.compare:
+                row["sim_speedup"] = gmean_speedup(sim_speedups[scheme])
+            rows.append(row)
+    if getattr(args, "json_out", None):
+        with open(args.json_out, "w") as handle:
+            json.dump(
+                {"figure": args.figure, "scale": args.scale, "rows": rows},
+                handle,
+                indent=2,
+            )
+    print(f"Analytical estimate for {args.figure} (scale {args.scale}; "
+          f"no timing simulation):")
+    print(format_plain(rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -265,6 +356,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="page size in bytes (4096/65536/2097152)")
         p.add_argument("--l2-tlb-entries", type=int, dest="l2_tlb_entries",
                        help="override the shared L2 TLB size")
+        p.add_argument("--engine", choices=["event", "vectorized"],
+                       help="simulation engine (byte-identical results; "
+                            "'vectorized' is the compiled fast path)")
         p.add_argument("--config", help="JSON configuration file to start from")
 
     run_parser = sub.add_parser("run", help="simulate one application")
@@ -316,6 +410,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.set_defaults(func=cmd_trace)
 
+    estimate_parser = sub.add_parser(
+        "estimate",
+        help="analytically estimate PTW-PKI and speedups (no simulation)",
+    )
+    estimate_parser.add_argument("figure", choices=sorted(_ESTIMATE_FIGURES))
+    add_common(estimate_parser)
+    estimate_parser.add_argument(
+        "--apps", nargs="+", metavar="APP",
+        help="restrict to these applications (default: all)",
+    )
+    estimate_parser.add_argument(
+        "--compare", action="store_true",
+        help="also simulate each job (vectorized engine) and show the "
+             "estimator's PTW-PKI error and the simulated speedups",
+    )
+    estimate_parser.add_argument(
+        "--json", dest="json_out", metavar="PATH",
+        help="also write the estimate rows to PATH as JSON",
+    )
+    estimate_parser.set_defaults(func=cmd_estimate)
+
     from repro.experiments.report import SWEEP_GRIDS
 
     sweep_parser = sub.add_parser(
@@ -348,6 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going", dest="keep_going", action="store_true", default=None,
         help="record terminal job failures and keep sweeping instead of "
              "aborting (failed slots resolve to None)",
+    )
+    sweep_parser.add_argument(
+        "--engine", choices=["event", "vectorized"],
+        help="simulation engine for every job in the grid (byte-identical "
+             "results and shared cache identity)",
     )
     sweep_parser.add_argument(
         "--telemetry", action="store_true",

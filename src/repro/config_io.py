@@ -58,6 +58,11 @@ def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
         "lds_before_icache": config.lds_before_icache,
         "dedup_shared_fills": config.dedup_shared_fills,
     }
+    # The engine is serialized only when it deviates from the default so
+    # configuration files written before the knob existed round-trip
+    # unchanged (and event-mode signatures stay stable).
+    if config.engine != "event":
+        payload["engine"] = config.engine
     for section, section_type in _SECTION_TYPES.items():
         values = dataclasses.asdict(getattr(config, section))
         for name, value in values.items():
@@ -74,7 +79,7 @@ def config_from_dict(payload: Dict[str, Any]) -> SystemConfig:
     file is an error rather than a silently-ignored setting.
     """
 
-    known_top = set(_SECTION_TYPES) | {"scheme", "page_size", "va_bits", "lds_before_icache", "dedup_shared_fills"}
+    known_top = set(_SECTION_TYPES) | {"scheme", "page_size", "va_bits", "lds_before_icache", "dedup_shared_fills", "engine"}
     unknown = set(payload) - known_top
     if unknown:
         raise ValueError(f"unknown configuration sections: {sorted(unknown)}")
@@ -82,7 +87,7 @@ def config_from_dict(payload: Dict[str, Any]) -> SystemConfig:
     kwargs: Dict[str, Any] = {}
     if "scheme" in payload:
         kwargs["scheme"] = TxScheme(payload["scheme"])
-    for scalar in ("page_size", "va_bits", "lds_before_icache", "dedup_shared_fills"):
+    for scalar in ("page_size", "va_bits", "lds_before_icache", "dedup_shared_fills", "engine"):
         if scalar in payload:
             kwargs[scalar] = payload[scalar]
 

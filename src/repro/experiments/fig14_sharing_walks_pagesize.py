@@ -20,7 +20,7 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
-from repro.sim.runner import SweepJob, run_sweep
+from repro.sim.runner import SweepJob, jobs_with_engine, run_sweep
 from repro.workloads.registry import app_names
 
 PAGE_SIZES = (4096, 64 * 1024, 2 * 1024 * 1024)
@@ -50,10 +50,14 @@ def sweep_jobs_14c(scale: Optional[float] = None) -> List[SweepJob]:
     return jobs
 
 
-def sweep_jobs(scale: Optional[float] = None) -> List[SweepJob]:
+def sweep_jobs(
+    scale: Optional[float] = None, engine: Optional[str] = None
+) -> List[SweepJob]:
     """The full Figure 14 job grid (14a/b schemes + 14c page sizes)."""
 
-    return sweep_jobs_14ab(scale) + sweep_jobs_14c(scale)
+    return jobs_with_engine(
+        sweep_jobs_14ab(scale) + sweep_jobs_14c(scale), engine
+    )
 
 
 def run_fig14a(scale: Optional[float] = None) -> ExperimentResult:

@@ -20,7 +20,7 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
-from repro.sim.runner import SweepJob, run_sweep
+from repro.sim.runner import SweepJob, jobs_with_engine, run_sweep
 from repro.workloads.registry import app_names
 
 SHARER_COUNTS = (1, 2, 4, 8)
@@ -81,10 +81,13 @@ def sweep_jobs_16c(scale=None):
     ]
 
 
-def sweep_jobs(scale=None):
+def sweep_jobs(scale=None, engine=None):
     """The full Figure 16 job grid (sharers + wire latency + DUCATI)."""
 
-    return sweep_jobs_16a(scale) + sweep_jobs_16b(scale) + sweep_jobs_16c(scale)
+    return jobs_with_engine(
+        sweep_jobs_16a(scale) + sweep_jobs_16b(scale) + sweep_jobs_16c(scale),
+        engine,
+    )
 
 
 def run_fig16a(

@@ -108,10 +108,23 @@ class Port:
         return self._free_times[0]
 
     def reset(self) -> None:
+        """Restore the port to its just-constructed state.
+
+        Besides the free-time heap and busy-cycle counter this detaches any
+        attached timeline sampler and replaces the idle tracker with a fresh
+        one: back-to-back in-process runs (the engine-equivalence battery
+        compares two engines inside one process) must each start from
+        identical port state, and a stale sampler or tracker would leak the
+        first run's history into the second run's distributions.
+        """
+
         units = len(self._free_times)
         self._free_times = [0] * units
         heapq.heapify(self._free_times)
         self.busy_cycles = 0
+        if self.idle_tracker is not None:
+            self.idle_tracker = PortIdleTracker()
+        self.timeline = None
 
 
 class WaveScheduler:

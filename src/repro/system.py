@@ -135,7 +135,17 @@ class GPUSystem:
                 )
             )
 
-        self.dispatcher = WorkGroupDispatcher(self.cus, stats=self.stats)
+        if config.engine == "vectorized":
+            from repro.sim.vectorized import VectorWavefront
+
+            self._wave_factory: type = VectorWavefront
+        else:
+            from repro.gpu.wavefront import Wavefront
+
+            self._wave_factory = Wavefront
+        self.dispatcher = WorkGroupDispatcher(
+            self.cus, stats=self.stats, wave_factory=self._wave_factory
+        )
         self.energy_model = DRAMEnergyModel(config.dram_energy)
         self.command_processor = CommandProcessor(
             invalidate_fn=self.shootdown,
@@ -291,7 +301,9 @@ class GPUSystem:
             cus = [self.cus[cu_id] for cu_id in partition]
             for cu in cus:
                 cu.translation.vmid = vmid
-            dispatcher = WorkGroupDispatcher(cus, stats=self.stats)
+            dispatcher = WorkGroupDispatcher(
+                cus, stats=self.stats, wave_factory=self._wave_factory
+            )
             progress = _AppProgress(self, app, dispatcher, scheduler)
             dispatcher.on_kernel_complete = progress.kernel_completed
             progresses.append(progress)

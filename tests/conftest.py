@@ -9,6 +9,21 @@ from repro.gpu.instructions import alu, lds_op, line, mem
 from repro.workloads.base import AppSpec, KernelSpec
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden snapshot files under tests/goldens/ with "
+        "the current simulator output instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def config() -> SystemConfig:
     return table1_config()

@@ -205,3 +205,125 @@ class TestWaveScheduler:
         scheduler = WaveScheduler()
         scheduler.add(0, "w", lambda payload, now: None)
         assert len(scheduler) == 1
+
+class TestPortResetHygiene:
+    """Port.reset must restore the *complete* just-constructed state.
+
+    Back-to-back in-process runs (the engine-equivalence battery) reuse
+    nothing, but telemetry helpers reset ports between phases; a reset that
+    leaked an attached timeline sampler or accumulated idle gaps would bleed
+    one run's history into the next run's distributions.
+    """
+
+    def test_reset_detaches_timeline_sampler(self):
+        port = Port("p", units=1, occupancy=2)
+        sampler = TimelineSampler("p", lanes=1)
+        port.attach_timeline(sampler)
+        port.request(0)
+        assert len(sampler) == 1
+        port.reset()
+        assert port.timeline is None
+        port.request(5)
+        assert len(sampler) == 1  # no further intervals recorded
+
+    def test_reset_discards_idle_history(self):
+        port = Port("p", units=1, occupancy=1, track_idle=True)
+        port.request(0)
+        port.request(500)  # one huge idle gap
+        assert port.idle_tracker.box_stats().maximum == 500
+        port.reset()
+        assert port.idle_tracker is not None  # tracking stays enabled
+        assert port.idle_tracker.box_stats() is None  # ... but empty
+        port.request(0)
+        port.request(3)
+        assert port.idle_tracker.box_stats().maximum == 3
+
+    def test_reset_without_tracking_stays_untracked(self):
+        port = Port("p", units=2)
+        port.reset()
+        assert port.idle_tracker is None
+
+    def test_reset_restores_pristine_heap(self):
+        port = Port("p", units=3, occupancy=9)
+        for now in (0, 0, 0, 1, 2):
+            port.request(now)
+        port.reset()
+        assert port.earliest_free() == 0
+        # All three units must be free again: three same-cycle requests
+        # all start immediately, exactly as on a fresh port.
+        assert [port.request(0) for _ in range(3)] == [0, 0, 0]
+
+
+class _Uncomparable:
+    """A payload without ordering support (like Wavefront objects)."""
+
+    __lt__ = None  # type: ignore[assignment]
+
+
+class TestSchedulerTiebreakDeterminism:
+    def test_equal_time_entries_never_compare_payloads(self):
+        # The (time, sequence, payload, step) heap entries must short-
+        # circuit on the monotonic sequence; if the heap ever compared
+        # payloads, these entries would raise TypeError.
+        order = []
+
+        def step(payload, now):
+            order.append(payload)
+            return None
+
+        scheduler = WaveScheduler()
+        payloads = [_Uncomparable() for _ in range(8)]
+        for payload in payloads:
+            scheduler.add(13, payload, step)
+        scheduler.run()
+        assert order == payloads
+
+    def test_sequence_survives_mid_run_readds(self):
+        # Re-added waves (step returned a next time) are sequenced after
+        # everything already queued for that cycle, matching insertion
+        # order exactly.
+        order = []
+
+        def once(payload, now):
+            order.append(payload)
+            return None
+
+        def requeue(payload, now):
+            order.append(payload)
+            if order.count(payload) == 1:
+                return now  # same-cycle re-add: goes behind "b"
+            return None
+
+        scheduler = WaveScheduler()
+        scheduler.add(0, "a", requeue)
+        scheduler.add(0, "b", once)
+        scheduler.run()
+        assert order == ["a", "b", "a"]
+
+    def test_event_order_is_hash_seed_independent(self):
+        # Results must not depend on PYTHONHASHSEED: run a small app in
+        # two subprocesses with different seeds and compare byte-level
+        # fingerprints. (Dict iteration order is insertion order and the
+        # scheduler tiebreak is an explicit sequence number, so any
+        # divergence here is a real determinism bug.)
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.config import table1_config, TxScheme\n"
+            "from repro.experiments.common import result_fingerprint, run_app\n"
+            "print(result_fingerprint(run_app('NW', "
+            "table1_config(TxScheme.ICACHE_LDS), scale=0.02, "
+            "use_cache=False)))\n"
+        )
+        digests = set()
+        for seed in ("0", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env.pop("REPRO_CACHE_DIR", None)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1

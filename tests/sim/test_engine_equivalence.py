@@ -1,0 +1,226 @@
+"""Differential equivalence battery: event engine vs vectorized engine.
+
+``SystemConfig.engine = "vectorized"`` selects a compiled, flattened
+wavefront (:mod:`repro.sim.vectorized`) whose contract is **byte
+identity**: the full serialized :class:`~repro.sim.results.SimResult` —
+every counter, every kernel window, every distribution — must equal the
+event engine's, not merely approximate it. That contract is what justifies
+dropping ``engine`` from the result-cache signature
+(:func:`repro.experiments.common._config_signature`), so a vectorized
+sweep may serve and be served by event-mode cache entries.
+
+The battery compares the two engines across:
+
+- a diagonal of the Figure 13 grid (every application once, rotating
+  through the scheme variants) — the **full** 90-job grid runs when
+  ``REPRO_EQUIVALENCE_FULL=1`` (CI nightly / manual deep check);
+- every :class:`TxScheme` on fast applications;
+- concurrent multi-application mode (``run_concurrent``);
+- fault-injected sweep execution (``REPRO_FAULT_SPEC``-style retries);
+- the observability fallback (attached timeline samplers force the
+  event-identical slow path);
+- result-cache identity between engines.
+
+Comparisons use :func:`serialize_result` (full structured equality, so a
+mismatch prints the differing counters) and
+:func:`result_fingerprint` (the byte-level digest the cache trusts).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import SystemConfig, TxScheme, table1_config
+from repro.experiments import common
+from repro.experiments.common import result_fingerprint, serialize_result
+from repro.experiments.fig13_main import sweep_jobs as fig13_sweep_jobs
+from repro.sim.runner import SweepJob, SweepRunner, drain_failures
+from repro.system import GPUSystem
+from repro.workloads.registry import make_app
+
+SCALE = 0.02
+FULL_GRID = os.environ.get("REPRO_EQUIVALENCE_FULL", "").strip() == "1"
+
+# Applications that simulate in well under 100ms at the battery scale;
+# used where a test multiplies runs across schemes/modes.
+FAST_APPS = ("NW", "SSSP")
+
+
+@pytest.fixture(autouse=True)
+def _memory_only_cache(monkeypatch):
+    """No disk cache, no inherited sweep env, clean in-process cache."""
+
+    monkeypatch.setattr(common, "_CACHE_DIR", "")
+    for name in (
+        "REPRO_FAULT_SPEC",
+        "REPRO_TIMEOUT",
+        "REPRO_MAX_RETRIES",
+        "REPRO_KEEP_GOING",
+        "REPRO_JOBS",
+    ):
+        monkeypatch.delenv(name, raising=False)
+    common.clear_cache()
+    drain_failures()
+    yield
+    common.clear_cache()
+    drain_failures()
+
+
+def run_engine(app_name: str, config: SystemConfig, scale: float = SCALE):
+    app = make_app(app_name, scale=scale, page_size=config.page_size)
+    return GPUSystem(config).run(app)
+
+
+def assert_byte_identical(event_result, vector_result) -> None:
+    """Full structured equality first (readable diffs), then the digest."""
+
+    assert serialize_result(vector_result) == serialize_result(event_result)
+    assert result_fingerprint(vector_result) == result_fingerprint(event_result)
+
+
+def _grid_jobs():
+    jobs = fig13_sweep_jobs(scale=SCALE)
+    if FULL_GRID:
+        return list(jobs)
+    # Diagonal subsample: every application exactly once, rotating through
+    # the grid's scheme variants so every scheme family appears.
+    apps = list(dict.fromkeys(job.app_name for job in jobs))
+    per_app = {name: [j for j in jobs if j.app_name == name] for name in apps}
+    return [
+        variants[index % len(variants)]
+        for index, variants in enumerate(per_app[name] for name in apps)
+    ]
+
+
+def _job_id(job) -> str:
+    return f"{job.app_name}-{job.config.scheme.value}"
+
+
+class TestFig13Grid:
+    """Byte identity across the Figure 13 grid (diagonal or full)."""
+
+    @pytest.mark.parametrize("job", _grid_jobs(), ids=_job_id)
+    def test_grid_job_equivalence(self, job):
+        event = run_engine(job.app_name, job.config, job.scale)
+        vector = run_engine(
+            job.app_name, job.config.with_engine("vectorized"), job.scale
+        )
+        assert_byte_identical(event, vector)
+
+
+class TestSchemes:
+    """Every TxScheme, including the ones the grid's diagonal missed."""
+
+    @pytest.mark.parametrize("scheme", list(TxScheme), ids=lambda s: s.value)
+    @pytest.mark.parametrize("app_name", FAST_APPS)
+    def test_scheme_equivalence(self, app_name, scheme):
+        config = table1_config(scheme)
+        event = run_engine(app_name, config)
+        vector = run_engine(app_name, config.with_engine("vectorized"))
+        assert_byte_identical(event, vector)
+
+    def test_ablation_orders_and_dedup(self):
+        """lds_before_icache=False and dedup_shared_fills=True variants."""
+
+        from dataclasses import replace
+
+        base = table1_config(TxScheme.ICACHE_LDS)
+        for variant in (
+            replace(base, lds_before_icache=False),
+            replace(base, dedup_shared_fills=True),
+        ):
+            event = run_engine("NW", variant)
+            vector = run_engine("NW", variant.with_engine("vectorized"))
+            assert_byte_identical(event, vector)
+
+
+class TestConcurrentMode:
+    """run_concurrent: per-app results must match engine-for-engine."""
+
+    @pytest.mark.parametrize(
+        "scheme", [TxScheme.BASELINE, TxScheme.ICACHE_LDS], ids=lambda s: s.value
+    )
+    def test_concurrent_equivalence(self, scheme):
+        def both_apps(config):
+            apps = [
+                make_app(name, scale=SCALE, page_size=config.page_size)
+                for name in FAST_APPS
+            ]
+            cus = config.gpu.num_cus
+            partitions = [
+                list(range(cus // 2)),
+                list(range(cus // 2, cus)),
+            ]
+            return GPUSystem(config).run_concurrent(apps, partitions)
+
+        event_results = both_apps(table1_config(scheme))
+        vector_results = both_apps(table1_config(scheme).with_engine("vectorized"))
+        assert len(event_results) == len(vector_results) == len(FAST_APPS)
+        for event, vector in zip(event_results, vector_results):
+            assert_byte_identical(event, vector)
+
+
+# -- fault-injected execution ------------------------------------------------
+
+# Module-level so the hook pickles across any multiprocessing start method.
+def _fail_first_attempt(job, attempt):
+    if attempt <= 1:
+        raise RuntimeError("injected transient fault")
+
+
+class TestFaultRetries:
+    """A retried (fault-injected) sweep yields the same bytes as a clean run."""
+
+    def test_retry_equivalence(self):
+        reference = run_engine("NW", table1_config())
+        for engine in ("event", "vectorized"):
+            config = table1_config().with_engine(engine)
+            runner = SweepRunner(
+                jobs=1, use_cache=False, fault=_fail_first_attempt, max_retries=2
+            )
+            (result,) = runner.run([SweepJob("NW", config, SCALE)])
+            assert result is not None
+            assert_byte_identical(reference, result)
+
+
+class TestObservabilityFallback:
+    """Attached telemetry must not perturb results — the vectorized engine
+    detects observed ports and routes through the event-identical path."""
+
+    def test_timelines_preserve_identity(self):
+        config = table1_config(TxScheme.ICACHE_LDS)
+        event = run_engine("NW", config)
+
+        vec_config = config.with_engine("vectorized")
+        app = make_app("NW", scale=SCALE, page_size=vec_config.page_size)
+        system = GPUSystem(vec_config)
+        timelines = system.attach_timelines()
+        vector = system.run(app)
+
+        assert_byte_identical(event, vector)
+        # The telemetry itself must still be recorded (the fallback ran).
+        assert any(len(sampler.intervals) for sampler in timelines.values())
+
+
+class TestCacheIdentity:
+    """Both engines share one cache identity (engine is not in the key)."""
+
+    def test_cache_key_ignores_engine(self):
+        config = table1_config()
+        assert common.cache_key("NW", config, SCALE) == common.cache_key(
+            "NW", config.with_engine("vectorized"), SCALE
+        )
+
+    def test_vectorized_run_serves_event_request(self):
+        config = table1_config()
+        vector = common.run_app(
+            "NW", config.with_engine("vectorized"), scale=SCALE
+        )
+        event_cached = common.run_app("NW", config, scale=SCALE)
+        assert event_cached is vector  # same in-process cache entry
+
+        common.clear_cache()
+        event_fresh = common.run_app("NW", config, scale=SCALE, use_cache=False)
+        assert_byte_identical(event_fresh, vector)
