@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Simulation-as-a-service in one page: server, client, dedup, telemetry.
+
+Starts the job-queue HTTP service in-process (the same server
+``python -m repro serve`` runs), submits a small custom sweep through the
+stdlib client, streams the job's NDJSON progress events, prints the
+per-job telemetry from the structured report, and then resubmits the
+identical spec to show the dedup path answering instantly from the
+finished job.
+
+Run:  python examples/service_demo.py [SCALE]
+"""
+
+import sys
+
+from repro.service.client import ServiceClient
+from repro.service.http import BackgroundServer
+from repro.service.manager import JobManager
+from repro.sim.runner import telemetry_rows_from_json
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    spec = {"apps": ["GUPS", "ATAX"], "schemes": ["baseline", "lds"],
+            "scale": scale}
+
+    with JobManager(workers=1) as manager:
+        with BackgroundServer(manager) as server:
+            client = ServiceClient(server.url)
+            health = client.healthz()
+            print(f"Service up at {server.url} "
+                  f"(status {health['status']}, pool alive: "
+                  f"{health['pool']['alive']})")
+
+            submitted = client.submit(spec)
+            job_id = submitted["job_id"]
+            print(f"Submitted job {job_id}: {submitted['jobs']} sim jobs")
+
+            print("Streaming progress events:")
+            for event in client.events(job_id):
+                if event["type"] == "state":
+                    print(f"  [{event['seq']}] state -> {event['state']}")
+                elif event["type"] == "failure":
+                    print(f"  [{event['seq']}] FAILED {event['app']}")
+
+            status = client.status(job_id)
+            report = status["report"]
+            print(f"Job {job_id}: {status['state']} — "
+                  f"{report['jobs_simulated']} simulated, "
+                  f"{report['cache_hits']} cache hits in "
+                  f"{report['wall_clock_s']:.2f}s")
+
+            print()
+            print("Per-job telemetry:")
+            for row in telemetry_rows_from_json(report):
+                print(f"  {row['app']:6s} {row['scheme']:10s} "
+                      f"{row['cached']:6s} {row['wall_s']:>8s}s")
+
+            result = client.result(job_id)
+            print()
+            print("Speedups vs baseline (from the result payload):")
+            cycles = {(r["app_name"], r["scheme"]): r["cycles"]
+                      for r in result["results"]}
+            for app in ("GUPS", "ATAX"):
+                ratio = cycles[(app, "baseline")] / cycles[(app, "lds")]
+                print(f"  {app}: lds {ratio:.2f}x")
+
+            again = client.submit(dict(spec, apps=["gups", "atax"]))
+            assert again["deduplicated"] and again["job_id"] == job_id
+            print()
+            print(f"Resubmitted the same spec: deduplicated onto {job_id} "
+                  f"(state {again['state']}) — no re-simulation.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,13 @@ Commands:
   port timelines attached and export Chrome trace-event JSON (one track
   per CU/SIMD, per shared port, per page-table walker) for Perfetto /
   ``chrome://tracing``.
+- ``serve``    — run the simulation service (:mod:`repro.service`): an
+  asyncio HTTP API that accepts job specs, deduplicates them against
+  in-flight jobs and the disk cache, batches concurrent requests onto
+  one shared worker pool, and streams NDJSON progress.
+- ``submit``   — client for a running service: validate a job spec
+  locally (same checks the server applies), POST it, optionally wait
+  for completion and print the result/telemetry.
 """
 
 from __future__ import annotations
@@ -247,6 +254,120 @@ def cmd_sweep(args) -> int:
             print()
             print("REPRO_PROFILE set but no jobs were simulated "
                   "(all cache hits) — no hotspots to report.")
+    if getattr(args, "report_json", None):
+        with open(args.report_json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.report_json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.experiments import common
+    from repro.service.http import serve
+    from repro.service.manager import JobManager
+
+    if args.cache_dir:
+        common._CACHE_DIR = args.cache_dir
+    try:
+        manager = JobManager(
+            workers=args.jobs,
+            idle_timeout_s=args.idle_timeout,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            log=print,
+        )
+    except ValueError as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 2
+    if common._CACHE_DIR:
+        print(f"[service] disk cache: {common._CACHE_DIR}")
+    else:
+        print("[service] no disk cache configured (set --cache-dir or "
+              "REPRO_CACHE_DIR to persist and share results)")
+    serve(manager, host=args.host, port=args.port, log=print)
+    return 0
+
+
+def _submit_spec(args) -> dict:
+    spec: dict = {}
+    if args.figure:
+        spec["figure"] = args.figure
+    if args.apps:
+        spec["apps"] = args.apps
+    if args.schemes:
+        spec["schemes"] = args.schemes
+    if args.scale is not None:
+        spec["scale"] = args.scale
+    if args.engine:
+        spec["engine"] = args.engine
+    if args.timeout is not None:
+        spec["timeout"] = args.timeout
+    if args.max_retries is not None:
+        spec["max_retries"] = args.max_retries
+    return spec
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.jobs import SpecError, validate_spec
+    from repro.sim.runner import telemetry_rows_from_json
+
+    if args.status:
+        return cmd_submit_status(args)
+    spec = _submit_spec(args)
+    try:
+        # The same validation the server applies, run before any network
+        # round-trip, so typos fail here with the valid choices listed.
+        validate_spec(spec)
+    except SpecError as error:
+        print(f"repro submit: error: {error}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        submitted = client.submit(spec)
+    except (ServiceError, OSError) as error:
+        print(f"repro submit: error: {error}", file=sys.stderr)
+        return 2
+    job_id = submitted["job_id"]
+    dedup = " (deduplicated onto an existing job)" if submitted["deduplicated"] else ""
+    print(f"job {job_id}: {submitted['state']}, "
+          f"{submitted['jobs']} sim job(s){dedup}")
+    if not args.wait:
+        print(f"poll with: repro submit --url {args.url} --status {job_id}")
+        return 0
+    try:
+        status = client.wait(job_id, timeout=args.wait_timeout)
+    except (ServiceError, OSError, TimeoutError) as error:
+        print(f"repro submit: error: {error}", file=sys.stderr)
+        return 2
+    report = status.get("report")
+    print(f"job {job_id}: {status['state']}")
+    if report:
+        print(
+            f"  {report['jobs_submitted']} jobs, {report['unique_jobs']} unique, "
+            f"{report['cache_hits']} cache hits, {report['jobs_simulated']} "
+            f"simulated in {report['wall_clock_s']:.2f}s"
+        )
+        if args.telemetry:
+            print()
+            print("Per-job telemetry:")
+            print(format_plain(telemetry_rows_from_json(report)))
+        for failure in report.get("failures", []):
+            print(f"  FAILED {failure['app_name']} {failure['scheme']} "
+                  f"[{failure['disposition']}]: {failure['error']}")
+    return 0 if status["state"] == "done" else 1
+
+
+def cmd_submit_status(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.status(args.status)
+    except (ServiceError, OSError) as error:
+        print(f"repro submit: error: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -475,7 +596,105 @@ def build_parser() -> argparse.ArgumentParser:
              "attempts, worker pid) and, with REPRO_PROFILE set, the merged "
              "cProfile hotspots",
     )
+    sweep_parser.add_argument(
+        "--json", dest="report_json", metavar="PATH",
+        help="also write the structured SweepReport (timings, failures, "
+             "hotspots) to PATH — the same payload the service's result "
+             "endpoint returns",
+    )
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the simulation service (async job-queue HTTP API over "
+             "the sweep runner)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8000,
+        help="listen port (default 8000; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the shared pool "
+             "(default: REPRO_JOBS or all cores; 1 = serial, no pool)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", dest="cache_dir",
+        help="on-disk result cache directory (default: REPRO_CACHE_DIR); "
+             "completed specs resubmitted later are served from here",
+    )
+    serve_parser.add_argument(
+        "--idle-timeout", dest="idle_timeout", type=float, default=60.0,
+        help="seconds of quiet after which the shared worker pool is "
+             "evicted (default 60; it is recreated on the next job)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-sim-job timeout for specs that do not set one",
+    )
+    serve_parser.add_argument(
+        "--max-retries", type=int, dest="max_retries", default=None,
+        help="default retry budget for specs that do not set one",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit a job spec to a running service (client side)",
+    )
+    submit_parser.add_argument(
+        "figure", nargs="?", choices=sorted(SWEEP_GRIDS),
+        help="named grid to run (or use --apps/--schemes for a custom grid)",
+    )
+    submit_parser.add_argument(
+        "--apps", nargs="+", metavar="APP", type=str.upper,
+        help="custom grid: application names",
+    )
+    submit_parser.add_argument(
+        "--schemes", nargs="+", metavar="SCHEME",
+        help="custom grid: translation schemes (default: all)",
+    )
+    submit_parser.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale factor (default: server-side REPRO_SCALE)",
+    )
+    submit_parser.add_argument(
+        "--engine", choices=["event", "vectorized"],
+        help="simulation engine for every job in the grid",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-sim-job timeout in seconds for this spec",
+    )
+    submit_parser.add_argument(
+        "--max-retries", type=int, dest="max_retries", default=None,
+        help="retry budget for this spec",
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8000",
+        help="service base URL (default http://127.0.0.1:8000)",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print its report",
+    )
+    submit_parser.add_argument(
+        "--wait-timeout", dest="wait_timeout", type=float, default=600.0,
+        help="give up waiting after this many seconds (default 600)",
+    )
+    submit_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="with --wait: print the per-job telemetry table",
+    )
+    submit_parser.add_argument(
+        "--status", metavar="JOB_ID",
+        help="instead of submitting, print the status payload of JOB_ID",
+    )
+    submit_parser.set_defaults(func=cmd_submit)
 
     return parser
 

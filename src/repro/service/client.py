@@ -1,0 +1,150 @@
+"""Tiny stdlib client for the simulation service.
+
+Used by the test suite, the examples, CI's service smoke job, and the
+``python -m repro submit`` command — one class, ``http.client`` under the
+hood, no dependencies::
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    job = client.submit({"figure": "fig13", "scale": 0.05})
+    status = client.wait(job["job_id"])
+    result = client.result(job["job_id"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.service.manager import TERMINAL_STATES
+
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response. Carries the HTTP status and decoded payload —
+    for 400s that payload includes the valid choices the server offered."""
+
+    def __init__(self, status: int, payload: Dict) -> None:
+        super().__init__(
+            f"service returned {status}: {payload.get('error', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking client; one HTTP/1.1 request-per-connection exchange."""
+
+    def __init__(
+        self, base_url: str = "http://127.0.0.1:8000",
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
+        netloc = parts.netloc or parts.path  # tolerate "host:port" sans scheme
+        host, _, port = netloc.partition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port) if port else 8000
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode()) if raw.strip() else {}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    def _checked(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        status, decoded = self._request(method, path, payload)
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._checked("GET", "/healthz")
+
+    def version(self) -> Dict:
+        return self._checked("GET", "/version")
+
+    def submit(self, spec: Dict) -> Dict:
+        """Submit a job spec; raises :class:`ServiceError` (status 400,
+        payload listing the valid choices) on an invalid spec."""
+
+        return self._checked("POST", "/jobs", spec)
+
+    def jobs(self) -> List[Dict]:
+        return self._checked("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict:
+        """The result payload. For a still-running job the server answers
+        202 and this returns the status-shaped payload (no ``results``
+        key); poll :meth:`wait` first for a blocking fetch."""
+
+        status, decoded = self._request("GET", f"/jobs/{job_id}/result")
+        if status in (200, 202):
+            return decoded
+        raise ServiceError(status, decoded)
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._checked("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll_s: float = 0.2
+    ) -> Dict:
+        """Poll until the job reaches a terminal state; returns the final
+        status payload. Raises ``TimeoutError`` past ``timeout``."""
+
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.status(job_id)
+            if payload["state"] in TERMINAL_STATES:
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    def events(self, job_id: str) -> Iterator[Dict]:
+        """Stream the job's NDJSON progress events, following live until
+        the job reaches a terminal state."""
+
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=max(self.timeout, 600.0)
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                decoded = json.loads(raw.decode()) if raw.strip() else {}
+                raise ServiceError(response.status, decoded)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            connection.close()

@@ -1,0 +1,140 @@
+"""Shared process-pool host: one pool for every request, evicted when idle.
+
+The service must not spawn a fresh :class:`ProcessPoolExecutor` per HTTP
+request — pool start-up costs dominate small jobs and concurrent requests
+would multiply resident worker processes. :class:`SharedProcessPool`
+implements the :class:`repro.sim.runner.PoolHost` contract with a single
+long-lived pool:
+
+- **acquire** leases the pool to one sweep at a time (creating it lazily
+  on first use); a second acquirer blocks until the lease is released.
+  The effective in-flight cap is ``min(ask, max_workers)``.
+- **recycle** replaces a broken pool (worker crash / hung job) without
+  giving up the lease.
+- **release** returns the pool for reuse; a *dirty* release (the sweep
+  aborted with futures still in flight) discards the pool instead, so the
+  next lease starts clean.
+- **evict_if_idle** shuts the pool down after ``idle_timeout_s`` seconds
+  without a lease — the service stops holding worker processes (and their
+  memory) across quiet periods, and transparently recreates the pool on
+  the next request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.sim.runner import PoolHost, default_workers
+
+DEFAULT_IDLE_TIMEOUT_S = 60.0
+
+
+class SharedProcessPool(PoolHost):
+    """A :class:`PoolHost` whose pool outlives individual sweeps."""
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+    ) -> None:
+        resolved = max_workers if max_workers is not None else default_workers()
+        if resolved < 1:
+            raise ValueError(f"max_workers must be >= 1, got {resolved}")
+        if idle_timeout_s <= 0:
+            raise ValueError(f"idle_timeout_s must be > 0, got {idle_timeout_s}")
+        self.max_workers = resolved
+        self.idle_timeout_s = idle_timeout_s
+        self._cond = threading.Condition()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._leased = False
+        self._last_release = time.monotonic()
+        self._closed = False
+        # Telemetry for /healthz.
+        self._pools_created = 0
+        self._leases = 0
+        self._recycles = 0
+        self._evictions = 0
+
+    # -- PoolHost contract -------------------------------------------------
+
+    def acquire(self, workers: int) -> Tuple[ProcessPoolExecutor, int]:
+        with self._cond:
+            while self._leased and not self._closed:
+                self._cond.wait()
+            if self._closed:
+                raise RuntimeError("SharedProcessPool is closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+                self._pools_created += 1
+            self._leased = True
+            self._leases += 1
+            return self._pool, min(workers, self.max_workers)
+
+    def recycle(
+        self, pool: ProcessPoolExecutor, workers: int, reason: str
+    ) -> ProcessPoolExecutor:
+        with self._cond:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._recycles += 1
+            return self._pool
+
+    def release(self, pool: ProcessPoolExecutor, dirty: bool = False) -> None:
+        with self._cond:
+            if dirty:
+                # Futures may still be running in there; never lease a
+                # polluted pool to the next sweep.
+                pool.shutdown(wait=False, cancel_futures=True)
+                if pool is self._pool:
+                    self._pool = None
+            self._leased = False
+            self._last_release = time.monotonic()
+            self._cond.notify_all()
+
+    # -- idle eviction / lifecycle -----------------------------------------
+
+    def evict_if_idle(self, now: Optional[float] = None) -> bool:
+        """Shut the pool down if it has been un-leased for the idle window.
+
+        Returns ``True`` when an eviction happened. Cheap to call often —
+        the manager's executor loop polls it between queue waits.
+        """
+
+        with self._cond:
+            if self._pool is None or self._leased:
+                return False
+            now = time.monotonic() if now is None else now
+            if now - self._last_release < self.idle_timeout_s:
+                return False
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._evictions += 1
+            return True
+
+    def shutdown(self) -> None:
+        """Tear everything down; subsequent :meth:`acquire` calls raise."""
+
+        with self._cond:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            self._cond.notify_all()
+
+    def stats(self) -> Dict:
+        """Pool telemetry for ``GET /healthz``."""
+
+        with self._cond:
+            return {
+                "alive": self._pool is not None,
+                "leased": self._leased,
+                "max_workers": self.max_workers,
+                "idle_timeout_s": self.idle_timeout_s,
+                "pools_created": self._pools_created,
+                "leases": self._leases,
+                "recycles": self._recycles,
+                "evictions": self._evictions,
+            }

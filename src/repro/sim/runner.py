@@ -55,12 +55,13 @@ from __future__ import annotations
 
 import fnmatch
 import os
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
@@ -88,6 +89,11 @@ FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
 DEFAULT_MAX_RETRIES = 2
 DEFAULT_BACKOFF_S = 0.05
 _BACKOFF_CAP_S = 2.0
+
+#: Version tag of :meth:`SweepReport.to_json` payloads. Bump whenever the
+#: serialized shape of the report (or of its timing/failure/hotspot rows)
+#: changes, so service clients and archived telemetry never misparse.
+REPORT_SCHEMA = "repro-sweepreport-v1"
 
 
 @dataclass(frozen=True)
@@ -235,38 +241,74 @@ class SweepReport:
 
         return [f"[sweep] FAILED {failure.describe()}" for failure in self.failures]
 
+    def to_json(self) -> Dict:
+        """The versioned, JSON-ready form of this report.
+
+        Everything downstream consumers need is structured here — counts,
+        wall clock, per-job timings, terminal failures, merged hotspots —
+        and both the service's result endpoint and ``repro sweep``'s
+        ``--telemetry``/``--json`` output are rendered from this one form
+        (see :meth:`telemetry_rows` / :meth:`from_json`).
+        """
+
+        return {
+            "schema": REPORT_SCHEMA,
+            "jobs_submitted": self.jobs_submitted,
+            "unique_jobs": self.unique_jobs,
+            "cache_hits": self.cache_hits,
+            "jobs_simulated": self.jobs_simulated,
+            "workers": self.workers,
+            "wall_clock_s": self.wall_clock_s,
+            "retries": self.retries,
+            "profiled": self.profiled,
+            # Derived, included for consumers that only see the payload.
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "timings": [asdict(timing) for timing in self.timings],
+            "failures": [asdict(failure) for failure in self.failures],
+            "hotspots": [asdict(hotspot) for hotspot in self.hotspots],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "SweepReport":
+        """Inverse of :meth:`to_json`. Raises ``ValueError`` on payloads
+        that are not a well-formed report of the current schema."""
+
+        if not isinstance(payload, dict):
+            raise ValueError(f"sweep-report payload must be an object, got {type(payload).__name__}")
+        if payload.get("schema") != REPORT_SCHEMA:
+            raise ValueError(
+                f"sweep-report payload has schema {payload.get('schema')!r} "
+                f"(want {REPORT_SCHEMA!r})"
+            )
+        try:
+            return cls(
+                jobs_submitted=payload["jobs_submitted"],
+                unique_jobs=payload["unique_jobs"],
+                cache_hits=payload["cache_hits"],
+                jobs_simulated=payload["jobs_simulated"],
+                workers=payload["workers"],
+                wall_clock_s=payload["wall_clock_s"],
+                retries=payload["retries"],
+                profiled=payload["profiled"],
+                timings=[JobTiming(**timing) for timing in payload["timings"]],
+                failures=[JobFailure(**failure) for failure in payload["failures"]],
+                hotspots=[Hotspot(**hotspot) for hotspot in payload["hotspots"]],
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed sweep-report payload: {error!r}") from None
+
     def telemetry_rows(self) -> List[Dict]:
         """Per-job telemetry as table rows (``--telemetry`` / report.py).
 
         One row per unique job in recording order: app, scheme, cache
         hit/miss, wall seconds, attempts, worker pid; terminal failures
         append rows of their own so the table covers every unique job.
+        Rendered from the structured :meth:`to_json` form so the CLI table
+        and the service payload can never drift apart.
         """
 
-        rows: List[Dict] = []
-        for timing in self.timings:
-            rows.append(
-                {
-                    "app": timing.app_name,
-                    "scheme": timing.scheme,
-                    "cached": "hit" if timing.cached else "miss",
-                    "wall_s": f"{timing.duration_s:.3f}",
-                    "attempts": timing.attempts if not timing.cached else 0,
-                    "worker": timing.worker_pid if timing.worker_pid else "-",
-                }
-            )
-        for failure in self.failures:
-            rows.append(
-                {
-                    "app": failure.app_name,
-                    "scheme": failure.scheme,
-                    "cached": "FAILED",
-                    "wall_s": "-",
-                    "attempts": failure.attempts,
-                    "worker": "-",
-                }
-            )
-        return rows
+        return telemetry_rows_from_json(self.to_json())
 
     def slowest_jobs(self, count: int = 5) -> List[JobTiming]:
         """The ``count`` slowest simulated (non-cached) jobs."""
@@ -297,6 +339,43 @@ class SweepReport:
         return line
 
 
+def telemetry_rows_from_json(payload: Dict) -> List[Dict]:
+    """Table rows (the ``--telemetry`` format) from a :meth:`SweepReport.to_json`
+    payload — shared by the CLI and service clients that only hold the
+    serialized report."""
+
+    rows: List[Dict] = []
+    for timing in payload.get("timings", []):
+        rows.append(
+            {
+                "app": timing["app_name"],
+                "scheme": timing["scheme"],
+                "cached": "hit" if timing["cached"] else "miss",
+                "wall_s": f"{timing['duration_s']:.3f}",
+                "attempts": timing["attempts"] if not timing["cached"] else 0,
+                "worker": timing["worker_pid"] if timing["worker_pid"] else "-",
+            }
+        )
+    for failure in payload.get("failures", []):
+        rows.append(
+            {
+                "app": failure["app_name"],
+                "scheme": failure["scheme"],
+                "cached": "FAILED",
+                "wall_s": "-",
+                "attempts": failure["attempts"],
+                "worker": "-",
+            }
+        )
+    return rows
+
+
+#: Guards the process-wide telemetry accumulators below. Concurrent
+#: sweeps (the service runs them from executor threads while request
+#: handlers drain) must never interleave a drain with an append — a
+#: drain must observe and clear an atomic snapshot.
+_TELEMETRY_LOCK = threading.Lock()
+
 #: Process-wide log of terminal failures across all sweeps, so callers
 #: that drive many sweeps (the report module) can surface one combined
 #: failure summary. Drained by :func:`drain_failures`.
@@ -306,8 +385,9 @@ _FAILURE_LOG: List[JobFailure] = []
 def drain_failures() -> List[JobFailure]:
     """Return and clear the process-wide terminal-failure log."""
 
-    drained = list(_FAILURE_LOG)
-    _FAILURE_LOG.clear()
+    with _TELEMETRY_LOCK:
+        drained = list(_FAILURE_LOG)
+        _FAILURE_LOG.clear()
     return drained
 
 
@@ -321,8 +401,9 @@ _REPORT_LOG: List[SweepReport] = []
 def drain_reports() -> List[SweepReport]:
     """Return and clear the process-wide sweep-report log."""
 
-    drained = list(_REPORT_LOG)
-    _REPORT_LOG.clear()
+    with _TELEMETRY_LOCK:
+        drained = list(_REPORT_LOG)
+        _REPORT_LOG.clear()
     return drained
 
 
@@ -544,6 +625,58 @@ def _simulate(
     )
 
 
+class PoolHost:
+    """Owns the :class:`ProcessPoolExecutor` lifecycle for a parallel sweep.
+
+    :class:`SweepRunner` historically created one private pool per
+    ``run()`` and tore it down afterwards. The service front-end
+    (:mod:`repro.service`) instead batches many requests onto one
+    long-lived pool — so the pool lifecycle is lifted into this
+    executor-facing contract:
+
+    - :meth:`acquire` — lease a pool for one sweep. Returns the pool and
+      the effective worker count the runner may keep in flight (a shared
+      host may cap below the runner's ask).
+    - :meth:`recycle` — the leased pool broke (worker crash, hung job);
+      replace it with a fresh one. The old pool must be abandoned with
+      ``shutdown(wait=False, cancel_futures=True)``.
+    - :meth:`release` — the sweep is done with the pool. ``dirty=True``
+      means futures may still be in flight (the sweep aborted mid-run);
+      a reusing host must not hand that pool to the next sweep.
+
+    The default :class:`PrivatePoolHost` reproduces the historical
+    behaviour exactly; :class:`repro.service.executor.SharedProcessPool`
+    keeps the pool across leases and evicts it after an idle period.
+    """
+
+    def acquire(self, workers: int) -> Tuple[ProcessPoolExecutor, int]:
+        raise NotImplementedError
+
+    def recycle(
+        self, pool: ProcessPoolExecutor, workers: int, reason: str
+    ) -> ProcessPoolExecutor:
+        raise NotImplementedError
+
+    def release(self, pool: ProcessPoolExecutor, dirty: bool = False) -> None:
+        raise NotImplementedError
+
+
+class PrivatePoolHost(PoolHost):
+    """One fresh pool per sweep, torn down when the sweep finishes."""
+
+    def acquire(self, workers: int) -> Tuple[ProcessPoolExecutor, int]:
+        return ProcessPoolExecutor(max_workers=workers), workers
+
+    def recycle(
+        self, pool: ProcessPoolExecutor, workers: int, reason: str
+    ) -> ProcessPoolExecutor:
+        pool.shutdown(wait=False, cancel_futures=True)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def release(self, pool: ProcessPoolExecutor, dirty: bool = False) -> None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 @dataclass
 class _Pending:
     """Mutable retry state of one unique job awaiting execution."""
@@ -586,6 +719,11 @@ class SweepRunner:
         Optional picklable fault-injection hook ``fault(job, attempt)``
         run in the executing process before each simulation attempt.
         Defaults to ``REPRO_FAULT_SPEC`` (parsed) when set.
+    pool_host:
+        Optional :class:`PoolHost` owning the process pool's lifecycle.
+        ``None`` (default) gives every sweep a private pool, torn down
+        when the sweep finishes; the service passes a shared host so
+        concurrent requests batch onto one long-lived pool.
     """
 
     def __init__(
@@ -598,6 +736,7 @@ class SweepRunner:
         retry_backoff_s: Optional[float] = None,
         keep_going: Optional[bool] = None,
         fault: Optional[Callable[[SweepJob, int], None]] = None,
+        pool_host: Optional[PoolHost] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -627,6 +766,7 @@ class SweepRunner:
             if spec:
                 fault = parse_fault_spec(spec)
         self.fault = fault
+        self.pool_host = pool_host
         self.last_report: Optional[SweepReport] = None
         self._hotspot_groups: List[List[Hotspot]] = []
 
@@ -710,7 +850,8 @@ class SweepRunner:
                     self._hotspot_groups, profile_top() or DEFAULT_PROFILE_TOP
                 )
             self.last_report = report
-            _REPORT_LOG.append(report)
+            with _TELEMETRY_LOCK:
+                _REPORT_LOG.append(report)
             self._log(report.summary())
         return [resolved[key] for key in keys], report
 
@@ -795,7 +936,8 @@ class SweepRunner:
             disposition=disposition,
         )
         report.failures.append(failure)
-        _FAILURE_LOG.append(failure)
+        with _TELEMETRY_LOCK:
+            _FAILURE_LOG.append(failure)
         resolved[key] = None
         self._log(f"[sweep] FAILED {failure.describe()}")
         if not self.keep_going:
@@ -862,12 +1004,12 @@ class SweepRunner:
         total = len(pending)
         done_count = 0
         cache_dir = common._CACHE_DIR if self.use_cache else ""
-        workers = min(self.workers, total)
+        host = self.pool_host if self.pool_host is not None else PrivatePoolHost()
         queue: deque = deque(_Pending(job) for job in pending)
         suspects: List[_Pending] = []
         in_flight: Dict[Future, _Pending] = {}
         started_at: Dict[Future, float] = {}
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool, workers = host.acquire(min(self.workers, total))
 
         def submit(entry: _Pending) -> bool:
             try:
@@ -897,8 +1039,7 @@ class SweepRunner:
                 queue.append(entry)
             in_flight.clear()
             started_at.clear()
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = ProcessPoolExecutor(max_workers=workers)
+            pool = host.recycle(pool, workers, reason)
             self._log(f"[sweep] {reason}; pool recycled, lost jobs re-queued")
 
         def crash_retry(entry: _Pending, error: BaseException) -> None:
@@ -1050,7 +1191,9 @@ class SweepRunner:
                                 )
                         recycle_pool(f"{len(hung)} job(s) timed out")
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # dirty: an exception (e.g. SweepAbort) left futures in
+            # flight — a reusing host must not lease that pool again.
+            host.release(pool, dirty=bool(in_flight))
 
         if suspects:
             self._run_isolated(common, suspects, resolved, report, cache_dir)

@@ -1,0 +1,179 @@
+"""End-to-end HTTP API tests: BackgroundServer + ServiceClient."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.experiments.common import CACHE_SCHEMA, result_fingerprint
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import BackgroundServer
+from repro.service.jobs import expand_spec, validate_spec
+from repro.service.manager import JobManager
+from repro.sim.runner import REPORT_SCHEMA, SweepRunner
+
+SCALE = 0.05
+SPEC = {"apps": ["GUPS", "ATAX"], "schemes": ["baseline", "lds"], "scale": SCALE}
+
+
+@pytest.fixture()
+def live():
+    """A running manager + server + client, torn down afterwards."""
+    with JobManager(workers=1) as manager:
+        with BackgroundServer(manager) as server:
+            yield manager, server, ServiceClient(server.url)
+
+
+@pytest.fixture()
+def idle():
+    """Server whose manager never executes — jobs stay queued."""
+    with JobManager(workers=1, autostart=False) as manager:
+        with BackgroundServer(manager) as server:
+            yield manager, server, ServiceClient(server.url)
+
+
+def _raw(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestEndpoints:
+    def test_healthz_and_version(self, live):
+        _, server, client = live
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+        assert "queued" in health["jobs"] and "done" in health["jobs"]
+        assert "alive" in health["pool"]
+        version = client.version()
+        assert version["cache_schema"] == CACHE_SCHEMA
+        assert version["report_schema"] == REPORT_SCHEMA
+        assert "fig13" in version["figures"]
+        assert "GUPS" in version["apps"]
+        assert version["engines"] == ["event", "vectorized"]
+
+    def test_unknown_route_404(self, live):
+        _, _, client = live
+        with pytest.raises(ServiceError) as excinfo:
+            client._checked("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, live):
+        _, _, client = live
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("feedfacecafe")
+        assert excinfo.value.status == 404
+
+    def test_bad_spec_400_with_choices(self, live):
+        _, _, client = live
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"apps": ["NOPE"], "scale": SCALE})
+        assert excinfo.value.status == 400
+        payload = excinfo.value.payload
+        assert payload["field"] == "apps"
+        assert "GUPS" in payload["choices"]
+
+    def test_malformed_json_400(self, live):
+        _, server, _ = live
+        request = urllib.request.Request(
+            server.url + "/jobs", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestJobFlow:
+    def test_submitted_result_matches_direct_runner(self, live):
+        _, _, client = live
+        submitted = client.submit(SPEC)
+        assert submitted["deduplicated"] is False
+        job_id = submitted["job_id"]
+        status = client.wait(job_id, timeout=300)
+        assert status["state"] == "done"
+        assert status["report"]["schema"] == REPORT_SCHEMA
+        assert status["report"]["jobs_submitted"] == 4
+
+        result = client.result(job_id)
+        direct = SweepRunner(jobs=1).run(expand_spec(validate_spec(SPEC)))
+        assert result["fingerprints"] == [result_fingerprint(r) for r in direct]
+        assert len(result["results"]) == 4
+        assert all(r["app_name"] in ("GUPS", "ATAX") for r in result["results"])
+
+    def test_dedup_resubmit_same_job_without_resim(self, live):
+        _, _, client = live
+        first = client.submit(SPEC)
+        client.wait(first["job_id"], timeout=300)
+        again = client.submit(dict(SPEC, apps=["gups", "atax"]))
+        assert again["deduplicated"] is True
+        assert again["job_id"] == first["job_id"]
+        assert again["state"] == "done"
+
+    def test_queued_result_202(self, idle):
+        _, server, client = idle
+        job_id = client.submit(SPEC)["job_id"]
+        status, payload = _raw(f"{server.url}/jobs/{job_id}/result")
+        assert status == 202
+        assert payload["state"] == "queued"
+
+    def test_jobs_listing(self, idle):
+        _, _, client = idle
+        job_id = client.submit(SPEC)["job_id"]
+        listing = client.jobs()
+        assert [job["job_id"] for job in listing] == [job_id]
+
+    def test_delete_cancels_queued_then_404s_unknown(self, idle):
+        _, _, client = idle
+        job_id = client.submit(SPEC)["job_id"]
+        cancelled = client.cancel(job_id)
+        assert cancelled["state"] == "cancelled"
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel("feedfacecafe")
+        assert excinfo.value.status == 404
+
+    def test_delete_terminal_409(self, live):
+        _, _, client = live
+        job_id = client.submit(SPEC)["job_id"]
+        client.wait(job_id, timeout=300)
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel(job_id)
+        assert excinfo.value.status == 409
+
+    def test_cancelled_result_409(self, idle):
+        _, server, client = idle
+        job_id = client.submit(SPEC)["job_id"]
+        client.cancel(job_id)
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(job_id)
+        assert excinfo.value.status == 409
+
+
+class TestEvents:
+    def test_ndjson_stream_follows_to_terminal(self, live):
+        _, _, client = live
+        job_id = client.submit(SPEC)["job_id"]
+        events = list(client.events(job_id))
+        assert events, "stream produced no events"
+        states = [e["state"] for e in events if e["type"] == "state"]
+        assert states[0] == "queued"
+        assert states[-1] == "done"
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+
+    def test_failure_event_streamed(self, live, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "GUPS:*:exc")
+        _, _, client = live
+        job_id = client.submit(
+            {"apps": ["GUPS"], "schemes": ["baseline"], "scale": SCALE,
+             "max_retries": 0}
+        )["job_id"]
+        events = list(client.events(job_id))
+        failures = [e for e in events if e["type"] == "failure"]
+        assert failures and failures[0]["app"] == "GUPS"
+        assert failures[0]["disposition"] == "exception"
+        assert events[-1]["state"] == "failed"
+        # The status payload carries the structured failure record too.
+        status = client.status(job_id)
+        assert status["state"] == "failed"
+        assert status["report"]["failures"][0]["disposition"] == "exception"

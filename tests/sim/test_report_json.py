@@ -1,0 +1,148 @@
+"""SweepReport JSON round-trips and telemetry-accumulator thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.sim.profiling import Hotspot
+from repro.sim.runner import (
+    REPORT_SCHEMA,
+    JobFailure,
+    JobTiming,
+    SweepReport,
+    _FAILURE_LOG,
+    _REPORT_LOG,
+    _TELEMETRY_LOCK,
+    drain_failures,
+    drain_reports,
+    telemetry_rows_from_json,
+)
+
+
+def rich_report() -> SweepReport:
+    return SweepReport(
+        jobs_submitted=5,
+        unique_jobs=4,
+        cache_hits=1,
+        jobs_simulated=3,
+        workers=2,
+        wall_clock_s=12.5,
+        retries=1,
+        profiled=True,
+        timings=[
+            JobTiming(key="GUPS|baseline|1.0", app_name="GUPS", scheme="baseline",
+                      duration_s=4.0, cached=False, attempts=2, worker_pid=101),
+            JobTiming(key="ATAX|baseline|1.0", app_name="ATAX", scheme="baseline",
+                      duration_s=0.0, cached=True, attempts=0, worker_pid=0),
+            JobTiming(key="SRAD|baseline|1.0", app_name="SRAD", scheme="baseline",
+                      duration_s=2.0, cached=False, attempts=1, worker_pid=102),
+        ],
+        failures=[
+            JobFailure(key="MVT|baseline|1.0", app_name="MVT", scheme="baseline",
+                       attempts=3, error="boom", disposition="exception"),
+        ],
+        hotspots=[Hotspot(function="sim.py:10(step)", calls=900, cumulative_s=3.25)],
+    )
+
+
+class TestRoundTrip:
+    def test_to_json_from_json_is_identity(self):
+        report = rich_report()
+        restored = SweepReport.from_json(report.to_json())
+        assert restored == report
+
+    def test_payload_survives_json_encoding(self):
+        report = rich_report()
+        wire = json.dumps(report.to_json())
+        restored = SweepReport.from_json(json.loads(wire))
+        assert restored == report
+        assert restored.p50_s == report.p50_s
+        assert restored.p95_s == report.p95_s
+
+    def test_payload_carries_schema_and_derived_percentiles(self):
+        payload = rich_report().to_json()
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["p50_s"] == rich_report().p50_s
+        assert payload["p95_s"] == rich_report().p95_s
+
+    def test_empty_report_round_trips(self):
+        report = SweepReport()
+        assert SweepReport.from_json(report.to_json()) == report
+
+    def test_telemetry_rows_match_payload_rendering(self):
+        report = rich_report()
+        assert report.telemetry_rows() == telemetry_rows_from_json(report.to_json())
+        rows = report.telemetry_rows()
+        # Timings first (cache hit shows 0 attempts), failures appended.
+        assert [row["app"] for row in rows] == ["GUPS", "ATAX", "SRAD", "MVT"]
+        assert rows[1]["cached"] == "hit" and rows[1]["attempts"] == 0
+        assert rows[3]["cached"] == "FAILED"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            [],
+            {},
+            {"schema": "repro-sweepreport-v999"},
+            {"schema": REPORT_SCHEMA},  # missing every field
+        ],
+    )
+    def test_malformed_payloads_raise_value_error(self, payload):
+        with pytest.raises(ValueError):
+            SweepReport.from_json(payload)
+
+    def test_malformed_timing_raises_value_error(self):
+        payload = rich_report().to_json()
+        payload["timings"][0] = {"key": "only-a-key"}
+        with pytest.raises(ValueError, match="malformed"):
+            SweepReport.from_json(payload)
+
+
+class TestDrainThreadSafety:
+    def test_concurrent_appends_and_drains_conserve_records(self):
+        """Writers append under the telemetry lock while drainers snatch
+        snapshots; every record must surface exactly once."""
+
+        writers, per_writer = 8, 200
+        # Earlier tests in the session may have left undrained records in
+        # the process-wide logs; start from a clean slate so the counts
+        # below are exact.
+        drain_failures()
+        drain_reports()
+        drained_failures = []
+        drained_reports = []
+        stop = threading.Event()
+
+        def writer():
+            for index in range(per_writer):
+                failure = JobFailure(key=f"k{index}", app_name="GUPS",
+                                     scheme="baseline", attempts=1,
+                                     error="x", disposition="exception")
+                with _TELEMETRY_LOCK:
+                    _FAILURE_LOG.append(failure)
+                    _REPORT_LOG.append(SweepReport(jobs_submitted=1))
+
+        def drainer():
+            while not stop.is_set():
+                drained_failures.extend(drain_failures())
+                drained_reports.extend(drain_reports())
+
+        drain_threads = [threading.Thread(target=drainer) for _ in range(2)]
+        write_threads = [threading.Thread(target=writer) for _ in range(writers)]
+        for thread in drain_threads + write_threads:
+            thread.start()
+        for thread in write_threads:
+            thread.join(timeout=60)
+        stop.set()
+        for thread in drain_threads:
+            thread.join(timeout=60)
+        drained_failures.extend(drain_failures())
+        drained_reports.extend(drain_reports())
+
+        assert len(drained_failures) == writers * per_writer
+        assert len(drained_reports) == writers * per_writer
+        # And the logs are empty: nothing duplicated, nothing left behind.
+        assert drain_failures() == []
+        assert drain_reports() == []

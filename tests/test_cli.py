@@ -198,3 +198,118 @@ class TestTraceCommand:
         payload = json.loads(out_path.read_text())
         assert payload["otherData"]["op_events_recorded"] == 10
         assert payload["otherData"]["op_events_dropped"] > 0
+
+
+class TestSweepJsonOutput:
+    @pytest.fixture(autouse=True)
+    def _isolated(self, monkeypatch):
+        monkeypatch.setattr(common, "_CACHE_DIR", common._CACHE_DIR)
+        common.clear_cache()
+        yield
+        common.clear_cache()
+
+    def test_sweep_json_writes_loadable_report(self, capsys, tmp_path):
+        from repro.sim.runner import SweepReport
+
+        report_path = tmp_path / "report.json"
+        rc = main([
+            "sweep", "table2", "--jobs", "1", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"), "--json", str(report_path),
+        ])
+        assert rc == 0
+        assert f"wrote {report_path}" in capsys.readouterr().out
+        report = SweepReport.from_json(json.loads(report_path.read_text()))
+        assert report.jobs_submitted > 0
+        assert report.failures == []
+
+
+class TestServiceCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.idle_timeout == 60.0
+        assert args.jobs is None
+
+    def test_submit_parser_uppercases_apps(self):
+        args = build_parser().parse_args(
+            ["submit", "--apps", "gups", "atax", "--schemes", "baseline"]
+        )
+        assert args.apps == ["GUPS", "ATAX"]
+        assert args.figure is None
+        assert args.url == "http://127.0.0.1:8000"
+
+    def test_submit_parser_named_figure(self):
+        args = build_parser().parse_args(["submit", "fig13", "--wait"])
+        assert args.figure == "fig13"
+        assert args.wait is True
+        assert args.wait_timeout == 600.0
+
+    def test_submit_invalid_spec_fails_locally_with_choices(self, capsys):
+        # Validation runs before any network traffic: no server is
+        # listening anywhere near this URL, yet the error is a spec error.
+        rc = main([
+            "submit", "--apps", "NOPE", "--url", "http://127.0.0.1:1",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "NOPE" in err
+        assert "GUPS" in err  # actionable: valid choices listed
+
+    def test_submit_unreachable_server_fails_cleanly(self, capsys):
+        rc = main([
+            "submit", "--apps", "GUPS", "--scale", "0.05",
+            "--url", "http://127.0.0.1:1",
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_end_to_end_against_live_server(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.service.http import BackgroundServer
+        from repro.service.manager import JobManager
+
+        monkeypatch.setattr(common, "_CACHE_DIR", str(tmp_path / "cache"))
+        common.clear_cache()
+        with JobManager(workers=1) as manager:
+            with BackgroundServer(manager) as server:
+                rc = main([
+                    "submit", "--apps", "GUPS", "--schemes", "baseline",
+                    "--scale", "0.05", "--url", server.url,
+                    "--wait", "--telemetry",
+                ])
+                out = capsys.readouterr().out
+                assert rc == 0
+                assert "done" in out
+                assert "Per-job telemetry:" in out
+                assert "1 simulated" in out
+                # Identical resubmission dedups onto the finished job.
+                rc = main([
+                    "submit", "--apps", "gups", "--schemes", "baseline",
+                    "--scale", "0.05", "--url", server.url, "--wait",
+                ])
+                out = capsys.readouterr().out
+                assert rc == 0
+                assert "deduplicated onto an existing job" in out
+        common.clear_cache()
+
+    def test_submit_status_prints_payload(self, capsys, monkeypatch, tmp_path):
+        from repro.service.http import BackgroundServer
+        from repro.service.manager import JobManager
+
+        monkeypatch.setattr(common, "_CACHE_DIR", str(tmp_path / "cache"))
+        common.clear_cache()
+        with JobManager(workers=1, autostart=False) as manager:
+            with BackgroundServer(manager) as server:
+                record, _ = manager.submit(
+                    {"apps": ["GUPS"], "schemes": ["baseline"], "scale": 0.05}
+                )
+                rc = main([
+                    "submit", "--url", server.url, "--status", record.job_id,
+                ])
+                assert rc == 0
+                payload = json.loads(capsys.readouterr().out)
+                assert payload["job_id"] == record.job_id
+                assert payload["state"] == "queued"
+        common.clear_cache()

@@ -47,3 +47,11 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "Shot down" in proc.stdout
         assert "invalidated" in proc.stdout
+
+    def test_service_demo(self):
+        proc = run_example("service_demo.py", "0.05")
+        assert proc.returncode == 0, proc.stderr
+        assert "Service up at http://127.0.0.1:" in proc.stdout
+        assert "state -> done" in proc.stdout
+        assert "Per-job telemetry:" in proc.stdout
+        assert "deduplicated onto" in proc.stdout
