@@ -36,9 +36,10 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import schemes as scheme_registry
 from repro.analysis.charts import bar_chart
 from repro.analysis.tables import format_plain
-from repro.config import SystemConfig, TxScheme, table1_config
+from repro.config import SystemConfig, table1_config
 from repro.config_io import config_to_json, load_config
 from repro.system import GPUSystem
 from repro.workloads.registry import CATEGORIES, app_names, make_app
@@ -60,7 +61,10 @@ def _build_config(args) -> SystemConfig:
     else:
         config = table1_config()
     if getattr(args, "scheme", None):
-        config = config.with_scheme(TxScheme(args.scheme))
+        # Registry lookup: applies the scheme's configure transform (e.g.
+        # perfect-l2-tlb also sets tlb.perfect_l2) and raises a SchemeError
+        # listing the valid names on a typo.
+        config = scheme_registry.apply_scheme(config, args.scheme)
     if getattr(args, "page_size", None):
         config = config.with_page_size(args.page_size)
     if getattr(args, "l2_tlb_entries", None):
@@ -80,13 +84,18 @@ def cmd_list(args) -> int:
     for name in app_names():
         print(f"  {name:6s} category {CATEGORIES[name]}")
     print("\nSchemes:")
-    for scheme in TxScheme:
-        print(f"  {scheme.value}")
+    for spec in scheme_registry.schemes():
+        origin = "" if spec.builtin else "  [plugin]"
+        print(f"  {spec.name:22s} {spec.description}{origin}")
     return 0
 
 
 def cmd_run(args) -> int:
-    config = _build_config(args)
+    try:
+        config = _build_config(args)
+    except ValueError as error:
+        print(f"repro run: error: {error}", file=sys.stderr)
+        return 2
     result = _run_one(args.app, config, args.scale)
     if args.json:
         print(
@@ -119,8 +128,18 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    schemes = [TxScheme(value) for value in args.schemes]
-    baseline_cfg = _build_config(args)
+    try:
+        # Validate every scheme up front (actionable error, not a bare
+        # ValueError deep in the loop) and build the baseline config.
+        specs = [scheme_registry.get(value) for value in args.schemes]
+        baseline_cfg = _build_config(args)
+        configs = [
+            scheme_registry.apply_scheme(baseline_cfg, spec.name)
+            for spec in specs
+        ]
+    except ValueError as error:
+        print(f"repro compare: error: {error}", file=sys.stderr)
+        return 2
     baseline = _run_one(args.app, baseline_cfg, args.scale)
     print(
         f"{args.app}: baseline {baseline.cycles:,} cycles "
@@ -128,16 +147,16 @@ def cmd_compare(args) -> int:
     )
     speedups = {}
     rows = []
-    for scheme in schemes:
-        result = _run_one(args.app, baseline_cfg.with_scheme(scheme), args.scale)
+    for spec, config in zip(specs, configs):
+        result = _run_one(args.app, config, args.scale)
         speedup = baseline.cycles / result.cycles
-        speedups[scheme.value] = speedup
+        speedups[spec.name] = speedup
         walk_ratio = (
             result.page_walks / baseline.page_walks if baseline.page_walks else 1.0
         )
         rows.append(
             {
-                "scheme": scheme.value,
+                "scheme": spec.name,
                 "speedup": speedup,
                 "walks_vs_baseline": walk_ratio,
                 "cycles": result.cycles,
@@ -150,7 +169,11 @@ def cmd_compare(args) -> int:
 
 
 def cmd_config(args) -> int:
-    config = _build_config(args)
+    try:
+        config = _build_config(args)
+    except ValueError as error:
+        print(f"repro config: error: {error}", file=sys.stderr)
+        return 2
     text = config_to_json(config)
     if args.output:
         with open(args.output, "w") as handle:
@@ -170,7 +193,11 @@ def cmd_report(args) -> int:
 def cmd_trace(args) -> int:
     from repro.sim.trace import ExecutionTracer, write_chrome_trace
 
-    config = _build_config(args)
+    try:
+        config = _build_config(args)
+    except ValueError as error:
+        print(f"repro trace: error: {error}", file=sys.stderr)
+        return 2
     app = make_app(args.app, scale=args.scale, page_size=config.page_size)
     system = GPUSystem(config)
     tracer = ExecutionTracer(max_events=args.max_events)
@@ -371,16 +398,27 @@ def cmd_submit_status(args) -> int:
     return 0
 
 
-#: Scheme arms estimated per figure by ``repro estimate``.
-_ESTIMATE_FIGURES = {
-    "table2": (TxScheme.BASELINE,),
-    "fig13": (
-        TxScheme.BASELINE,
-        TxScheme.LDS_ONLY,
-        TxScheme.ICACHE_ONLY,
-        TxScheme.ICACHE_LDS,
-    ),
-}
+def _estimate_figures() -> dict:
+    """Scheme arms estimated per figure by ``repro estimate``.
+
+    Derived from the scheme registry: fig13's arms are a baseline column
+    plus the ``fig13-victim`` tag, restricted to schemes the analytical
+    model supports (plugins may opt out and require simulation).
+    """
+
+    fig13 = ("baseline",) + tuple(
+        spec.name for spec in scheme_registry.schemes_for_tag("fig13-victim")
+    )
+    figures = {"table2": ("baseline",), "fig13": fig13}
+    return {
+        figure: tuple(
+            name for name in names if scheme_registry.get(name).analytical
+        )
+        for figure, names in figures.items()
+    }
+
+
+_ESTIMATE_FIGURES = _estimate_figures()
 
 
 def cmd_estimate(args) -> int:
@@ -389,15 +427,19 @@ def cmd_estimate(args) -> int:
 
     schemes = _ESTIMATE_FIGURES[args.figure]
     apps = [name.upper() for name in args.apps] if args.apps else app_names()
-    base_config = _build_config(args)
+    try:
+        base_config = _build_config(args)
+    except ValueError as error:
+        print(f"repro estimate: error: {error}", file=sys.stderr)
+        return 2
     rows = []
-    est_speedups = {scheme: [] for scheme in schemes}
-    sim_speedups = {scheme: [] for scheme in schemes}
+    est_speedups = {name: [] for name in schemes}
+    sim_speedups = {name: [] for name in schemes}
     for app in apps:
         base_est = None
         base_sim = None
-        for scheme in schemes:
-            config = base_config.with_scheme(scheme)
+        for name in schemes:
+            config = scheme_registry.apply_scheme(base_config, name)
             estimate = estimate_app(app, config, args.scale)
             if base_est is None:
                 base_est = estimate
@@ -405,10 +447,10 @@ def cmd_estimate(args) -> int:
                 base_est.est_cycles / estimate.est_cycles
                 if estimate.est_cycles else 1.0
             )
-            est_speedups[scheme].append(speedup)
+            est_speedups[name].append(speedup)
             row = {
                 "app": app,
-                "scheme": scheme.value,
+                "scheme": name,
                 "est_ptw_pki": estimate.ptw_pki,
                 "est_walks": estimate.page_walks,
                 "est_speedup": speedup,
@@ -423,7 +465,7 @@ def cmd_estimate(args) -> int:
                 if base_sim is None:
                     base_sim = result
                 sim_speedup = base_sim.cycles / result.cycles
-                sim_speedups[scheme].append(sim_speedup)
+                sim_speedups[name].append(sim_speedup)
                 row["sim_ptw_pki"] = result.ptw_pki
                 row["pki_err_pct"] = (
                     100.0 * (estimate.ptw_pki - result.ptw_pki) / result.ptw_pki
@@ -432,14 +474,14 @@ def cmd_estimate(args) -> int:
                 row["sim_speedup"] = sim_speedup
             rows.append(row)
     if len(schemes) > 1:
-        for scheme in schemes:
+        for name in schemes:
             row = {
                 "app": "GMEAN",
-                "scheme": scheme.value,
-                "est_speedup": gmean_speedup(est_speedups[scheme]),
+                "scheme": name,
+                "est_speedup": gmean_speedup(est_speedups[name]),
             }
             if args.compare:
-                row["sim_speedup"] = gmean_speedup(sim_speedups[scheme])
+                row["sim_speedup"] = gmean_speedup(sim_speedups[name])
             rows.append(row)
     if getattr(args, "json_out", None):
         with open(args.json_out, "w") as handle:
@@ -471,8 +513,8 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(p):
         p.add_argument("--scale", type=float, default=1.0,
                        help="workload scale factor (default 1.0)")
-        p.add_argument("--scheme", choices=[s.value for s in TxScheme],
-                       help="translation scheme")
+        p.add_argument("--scheme", choices=scheme_registry.scheme_names(),
+                       help="translation scheme (registry name)")
         p.add_argument("--page-size", type=int, dest="page_size",
                        help="page size in bytes (4096/65536/2097152)")
         p.add_argument("--l2-tlb-entries", type=int, dest="l2_tlb_entries",
@@ -498,7 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes",
         nargs="+",
         default=["lds", "icache", "icache+lds"],
-        choices=[s.value for s in TxScheme],
+        choices=scheme_registry.scheme_names(),
     )
     compare_parser.set_defaults(func=cmd_compare)
 

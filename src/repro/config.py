@@ -55,6 +55,12 @@ class TxScheme(enum.Enum):
     def uses_ducati(self) -> bool:
         return self in (TxScheme.DUCATI, TxScheme.DUCATI_ICACHE_LDS)
 
+    @property
+    def uses_subregion(self) -> bool:
+        # No built-in arm wires the subregion-coalescing store; plugin
+        # schemes (repro.schemes) declare this flag on their own values.
+        return False
+
 
 class ICacheReplacement(enum.Enum):
     """Replacement policy for the reconfigurable I-cache (Section 4.3.2).
@@ -301,8 +307,35 @@ class DucatiConfig:
 
 
 @dataclass(frozen=True)
+class SubregionConfig:
+    """Subregion-contiguity TLB coalescing knobs (arXiv 2110.08613-style).
+
+    Used by the ``subregion-coalescing`` plugin scheme
+    (:mod:`repro.schemes.subregion`): the walker path detects
+    uniform-stride runs of physical frames inside aligned
+    ``subregion_pages``-page windows of the virtual address space and
+    caches them as single coalesced entries probed after an L2-TLB miss.
+    """
+
+    subregion_pages: int = 8
+    #: Minimum run length (pages) worth a coalesced entry.
+    min_run: int = 2
+    #: Coalesced-entry store capacity (runs, LRU).
+    entries: int = 256
+    #: Probe latency on the miss path (a small on-chip structure beside
+    #: the L2 TLB).
+    lookup_latency: int = 24
+
+
+@dataclass(frozen=True)
 class SystemConfig:
-    """Complete description of one simulated machine."""
+    """Complete description of one simulated machine.
+
+    ``scheme`` is a :class:`TxScheme` member for the built-in arms or a
+    :class:`repro.schemes.base.PluginScheme` for registered plugins;
+    both expose ``.value`` plus the ``uses_*`` capability flags, which
+    is all the simulator reads.
+    """
 
     gpu: GPUConfig = field(default_factory=GPUConfig)
     tlb: TLBConfig = field(default_factory=TLBConfig)
@@ -315,6 +348,7 @@ class SystemConfig:
     dram_energy: DRAMEnergyConfig = field(default_factory=DRAMEnergyConfig)
     iommu: IOMMUConfig = field(default_factory=IOMMUConfig)
     ducati: DucatiConfig = field(default_factory=DucatiConfig)
+    subregion: SubregionConfig = field(default_factory=SubregionConfig)
     scheme: TxScheme = TxScheme.BASELINE
     page_size: int = 4096
     va_bits: int = 48
@@ -339,6 +373,16 @@ class SystemConfig:
         if self.engine not in ("event", "vectorized"):
             raise ValueError(
                 f"unknown engine {self.engine!r} (want 'event' or 'vectorized')"
+            )
+        # Plugin schemes declare which engines they support; an
+        # unsupported combination must fail here, at construction, never
+        # as a silent misprediction inside an engine. TxScheme members
+        # carry no such attribute (every engine supports the built-ins).
+        supported = getattr(self.scheme, "supported_engines", None)
+        if supported is not None and self.engine not in supported:
+            raise ValueError(
+                f"scheme {self.scheme.value!r} does not support engine "
+                f"{self.engine!r} (supported: {list(supported)})"
             )
 
     def with_scheme(self, scheme: TxScheme) -> "SystemConfig":

@@ -24,9 +24,9 @@ from repro.config import (
     IOMMUConfig,
     LDSConfig,
     LDSTxConfig,
+    SubregionConfig,
     SystemConfig,
     TLBConfig,
-    TxScheme,
 )
 
 _SECTION_TYPES = {
@@ -63,6 +63,14 @@ def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
     # unchanged (and event-mode signatures stay stable).
     if config.engine != "event":
         payload["engine"] = config.engine
+    # Same rule for the subregion-coalescing section: emitted only when a
+    # scheme wires the store or a knob was changed, so every pre-existing
+    # configuration (and its cache signature) serializes byte-identically.
+    if (
+        getattr(config.scheme, "uses_subregion", False)
+        or config.subregion != SubregionConfig()
+    ):
+        payload["subregion"] = dataclasses.asdict(config.subregion)
     for section, section_type in _SECTION_TYPES.items():
         values = dataclasses.asdict(getattr(config, section))
         for name, value in values.items():
@@ -79,19 +87,25 @@ def config_from_dict(payload: Dict[str, Any]) -> SystemConfig:
     file is an error rather than a silently-ignored setting.
     """
 
-    known_top = set(_SECTION_TYPES) | {"scheme", "page_size", "va_bits", "lds_before_icache", "dedup_shared_fills", "engine"}
+    known_top = set(_SECTION_TYPES) | {"scheme", "subregion", "page_size", "va_bits", "lds_before_icache", "dedup_shared_fills", "engine"}
     unknown = set(payload) - known_top
     if unknown:
         raise ValueError(f"unknown configuration sections: {sorted(unknown)}")
 
     kwargs: Dict[str, Any] = {}
     if "scheme" in payload:
-        kwargs["scheme"] = TxScheme(payload["scheme"])
+        # Resolved through the scheme registry: built-in names yield their
+        # TxScheme member, plugin names their PluginScheme value, and an
+        # unknown name raises listing the valid choices.
+        from repro.schemes import resolve
+
+        kwargs["scheme"] = resolve(payload["scheme"])
     for scalar in ("page_size", "va_bits", "lds_before_icache", "dedup_shared_fills", "engine"):
         if scalar in payload:
             kwargs[scalar] = payload[scalar]
 
-    for section, section_type in _SECTION_TYPES.items():
+    sections = dict(_SECTION_TYPES, subregion=SubregionConfig)
+    for section, section_type in sections.items():
         if section not in payload:
             continue
         values = dict(payload[section])

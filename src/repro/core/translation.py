@@ -86,6 +86,7 @@ class TranslationService:
         lds_tx: Optional[LDSTxCache] = None,
         icache_tx: Optional[ReconfigurableICache] = None,
         ducati=None,
+        subregion=None,
         vmid: int = 0,
     ) -> None:
         self.cu_id = cu_id
@@ -107,6 +108,7 @@ class TranslationService:
         self.lds_tx = lds_tx
         self.icache_tx = icache_tx
         self.ducati = ducati
+        self.subregion = subregion
         self.vmid = vmid
         self.mshr = InFlightTable(stats=self.stats, name="tx_mshr")
         self.fill_flow = VictimFillFlow(
@@ -159,7 +161,7 @@ class TranslationService:
     def _miss_path(
         self, key: tuple, vpn: int, anchor: int, latency: int
     ) -> Tuple[int, int]:
-        """L1-miss path: LDS → I-cache → L2 TLB → DUCATI → IOMMU.
+        """L1-miss path: LDS → I-cache → L2 TLB → subregion → DUCATI → IOMMU.
 
         ``anchor`` is the wave's issue time (used for all port occupancy);
         ``latency`` is the delay accumulated so far.
@@ -181,6 +183,15 @@ class TranslationService:
             self._promote(entry, anchor)
             return anchor + latency, entry.pfn
 
+        if self.subregion is not None:
+            entry, stage = self.subregion.lookup(key, anchor)
+            latency += stage
+            if entry is not None:
+                self.stats.add("tx_serviced_by.subregion")
+                self._promote(entry, anchor)
+                self.l2_tlb.insert(entry)
+                return anchor + latency, entry.pfn
+
         if self.ducati is not None:
             entry, stage = self.ducati.lookup(key, anchor)
             latency += stage
@@ -193,6 +204,10 @@ class TranslationService:
         stage, entry = self.iommu.translate(self.vmid, vpn, anchor)
         latency += stage
         self.stats.add("tx_serviced_by.iommu")
+        if self.subregion is not None:
+            # The walker path just resolved this page: learn contiguity
+            # around it (read-only on the page table) and coalesce.
+            self.subregion.observe(key, entry.pfn)
         # A resolved walk fills both TLB levels (the L2 keeps its copy when
         # the L1 victim later moves into the LDS/I-cache victim caches).
         self.l2_tlb.insert(entry)

@@ -23,11 +23,13 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
+from repro.schemes import schemes_for_tag
 from repro.sim.runner import SweepJob, jobs_with_engine, run_sweep
 from repro.workloads.registry import CATEGORIES, app_names
 
-#: Figure 13b/13c scheme arms.
-SCHEMES = (TxScheme.LDS_ONLY, TxScheme.ICACHE_ONLY, TxScheme.ICACHE_LDS)
+#: Figure 13b/13c scheme arms, derived from the scheme registry (the
+#: ``fig13-victim`` tag); registration order matches the paper's bars.
+SCHEMES = tuple(spec.scheme for spec in schemes_for_tag("fig13-victim"))
 
 
 def icache_variant_configs() -> Dict[str, SystemConfig]:

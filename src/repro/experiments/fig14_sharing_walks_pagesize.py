@@ -20,12 +20,15 @@ from repro.experiments.common import (
     gmean_speedup,
     run_app,
 )
+from repro.schemes import schemes_for_tag
 from repro.sim.runner import SweepJob, jobs_with_engine, run_sweep
 from repro.workloads.registry import app_names
 
 PAGE_SIZES = (4096, 64 * 1024, 2 * 1024 * 1024)
 
-_SCHEMES_14B = (TxScheme.LDS_ONLY, TxScheme.ICACHE_ONLY, TxScheme.ICACHE_LDS)
+# Figure 14b compares the same victim-cache arms as Figure 13b, so the
+# grid derives from the registry's ``fig13-victim`` tag.
+_SCHEMES_14B = tuple(spec.scheme for spec in schemes_for_tag("fig13-victim"))
 
 
 def sweep_jobs_14ab(scale: Optional[float] = None) -> List[SweepJob]:

@@ -77,6 +77,10 @@ class ServiceServer:
         self.port = port
         self._log_sink = log
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Clients that vanished mid-response (reset/broken pipe). Benign
+        #: for the server, but surfaced in /healthz and the log so a flaky
+        #: client or proxy is visible instead of silently swallowed.
+        self.client_disconnects = 0
 
     def _log(self, message: str) -> None:
         if self._log_sink is not None:
@@ -119,14 +123,24 @@ class ServiceServer:
                 )
                 return
             await self._route(method, path, body, writer)
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        except (ConnectionResetError, BrokenPipeError) as error:
+            # The client went away mid-response; nothing to send back, but
+            # record it rather than dropping the event on the floor.
+            self.client_disconnects += 1
+            self._log(
+                f"[service] client disconnected mid-response "
+                f"({type(error).__name__})"
+            )
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
+            except (ConnectionResetError, BrokenPipeError, OSError) as error:
+                # Closing an already-dead socket: harmless, but log which
+                # errno so transport-level problems stay diagnosable.
+                self._log(
+                    f"[service] error closing client socket: {error!r}"
+                )
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -215,6 +229,7 @@ class ServiceServer:
             "uptime_s": time.time() - self.manager.started_at,
             "jobs": self.manager.counts(),
             "pool": self.manager.pool.stats(),
+            "client_disconnects": self.client_disconnects,
         }
 
     def _version(self) -> Dict:
@@ -341,7 +356,9 @@ async def _serve_async(server: ServiceServer) -> None:
     try:
         await server.serve_forever()
     except asyncio.CancelledError:
-        pass
+        # Normal shutdown path (KeyboardInterrupt cancels the runner's
+        # main task); announce it instead of exiting silently.
+        server._log("[service] shutdown requested; stopping")
     finally:
         await server.stop()
 

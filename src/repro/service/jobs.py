@@ -23,7 +23,7 @@ import hashlib
 import json
 from typing import Dict, List, Optional, Sequence
 
-from repro.config import TxScheme, table1_config
+from repro.schemes import config_for, engine_supported, scheme_names
 from repro.sim.runner import SweepJob, jobs_with_engine
 from repro.workloads.registry import app_names
 
@@ -80,7 +80,9 @@ def valid_figures() -> List[str]:
 
 
 def valid_schemes() -> List[str]:
-    return [scheme.value for scheme in TxScheme]
+    """Scheme names accepted in a custom grid (the registry universe)."""
+
+    return scheme_names()
 
 
 def _require(condition: bool, message: str, field: str, choices=None) -> None:
@@ -168,20 +170,24 @@ def validate_spec(raw: Dict) -> Dict:
             normalized_apps.append(name)
         spec["apps"] = normalized_apps
 
-        schemes = raw.get("schemes", valid_schemes())
+        # One registry snapshot for the whole loop: recomputing the list
+        # per element is wasteful and lets the universe drift mid-check if
+        # a plugin registers concurrently.
+        known_schemes = valid_schemes()
+        schemes = raw.get("schemes", known_schemes)
         _require(
             isinstance(schemes, list) and schemes,
             f"'schemes' must be a non-empty list, got {schemes!r}; "
-            f"valid schemes: {valid_schemes()}",
+            f"valid schemes: {known_schemes}",
             "schemes",
-            choices=valid_schemes(),
+            choices=known_schemes,
         )
         for scheme in schemes:
             _require(
-                scheme in valid_schemes(),
-                f"unknown scheme {scheme!r}; valid schemes: {valid_schemes()}",
+                scheme in known_schemes,
+                f"unknown scheme {scheme!r}; valid schemes: {known_schemes}",
                 "schemes",
-                choices=valid_schemes(),
+                choices=known_schemes,
             )
         spec["schemes"] = list(schemes)
 
@@ -223,6 +229,14 @@ def validate_spec(raw: Dict) -> Dict:
             "engine",
             choices=VALID_ENGINES,
         )
+        for scheme in spec.get("schemes", ()):
+            _require(
+                engine_supported(scheme, engine),
+                f"scheme {scheme!r} does not support engine {engine!r}; "
+                f"omit 'engine' to let the runner pick a supported one",
+                "engine",
+                choices=VALID_ENGINES,
+            )
         spec["engine"] = engine
 
     if raw.get("timeout") is not None:
@@ -266,7 +280,7 @@ def expand_spec(spec: Dict) -> List[SweepJob]:
     jobs: List[SweepJob] = []
     for app in spec["apps"]:
         for scheme in spec["schemes"]:
-            config = table1_config(TxScheme(scheme))
+            config = config_for(scheme)
             if "page_size" in spec:
                 config = config.with_page_size(spec["page_size"])
             if "l2_tlb_entries" in spec:

@@ -151,6 +151,14 @@ class FunctionalReachModel:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         scheme = config.scheme
+        # Plugin schemes declare whether the analytical model can estimate
+        # them; refuse clearly rather than silently modelling the scheme as
+        # a baseline (TxScheme members carry no flag — all are modelled).
+        if not getattr(scheme, "analytical", True):
+            raise ValueError(
+                f"scheme {scheme.value!r} is not supported by the "
+                f"analytical model; simulate it (event engine) instead"
+            )
         num_cus = config.gpu.num_cus
         # Scratch stats sink: the reused structures insist on one; its
         # counters are never read (the model keeps its own histogram).

@@ -308,8 +308,10 @@ class _CUContext:
         self.k_io_l2_fills = io.l2_tlb.name + ".fills"
         # The device L2 TLB is never "perfect" in the assembled system; the
         # inline walk path assumes real lookups, so bail to the event path
-        # if a test wires it otherwise.
-        self.supported = not io.l2_tlb.perfect
+        # if a test wires it otherwise. Likewise the subregion-coalescing
+        # store (a "fallback"-support plugin scheme) is only modelled by
+        # the event-exact slow path — never mispredict, always fall back.
+        self.supported = not io.l2_tlb.perfect and tr.subregion is None
 
         walker = io.walker
         pwc = walker.pwc

@@ -74,6 +74,14 @@ class GPUSystem:
             if scheme.uses_ducati
             else None
         )
+        if getattr(scheme, "uses_subregion", False):
+            from repro.schemes.subregion import SubregionStore
+
+            self.subregion: Optional[SubregionStore] = SubregionStore(
+                config.subregion, self.page_table, stats=self.stats
+            )
+        else:
+            self.subregion = None
 
         # --- Shared GPU translation structures ------------------------
         l2_ways = min(config.tlb.l2_ways, config.tlb.l2_entries)
@@ -127,6 +135,7 @@ class GPUSystem:
                 lds_tx=lds_tx,
                 icache_tx=icache_tx,  # type: ignore[arg-type]
                 ducati=self.ducati,
+                subregion=self.subregion,
             )
             self.cus.append(
                 ComputeUnit(
@@ -338,6 +347,8 @@ class GPUSystem:
         count += self.iommu.invalidate_vpn(vpn)
         if self.ducati is not None:
             count += self.ducati.invalidate_vpn(vpn)
+        if self.subregion is not None:
+            count += self.subregion.invalidate_vpn(vpn)
         self.stats.add("shootdowns")
         return count
 

@@ -95,13 +95,13 @@ class TestConfigSignature:
 class TestReportRegistry:
     def test_all_experiments_registered(self):
         # Table 2 + 13 figure harnesses + 6.3.1 + two extra ablations +
-        # the duplication-filter extension.
-        assert len(ALL_EXPERIMENTS) == 18
+        # the duplication-filter and subregion-coalescing extensions.
+        assert len(ALL_EXPERIMENTS) == 19
 
     def test_paper_order(self):
         names = [name for name, _ in ALL_EXPERIMENTS]
         assert names[0] == "Table 2"
-        assert names[-1] == "Extension: dedup filter"
+        assert names[-1] == "Extension: subregion coalescing"
 
     def test_runners_are_callable(self):
         for _, runner in ALL_EXPERIMENTS:

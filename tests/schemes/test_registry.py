@@ -1,0 +1,332 @@
+"""The scheme registry: the single source of truth for the scheme zoo.
+
+Covers registration semantics, the capability-flag wiring into
+:class:`GPUSystem`, cache-identity guarantees (pinned signatures for the
+builtin arms — any schema change must update these *explicitly*), engine
+gating, the perfect-l2-tlb configure-transform fix, and the
+scheme-universe agreement between the CLI, the service, and the
+experiment grids.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.config import SubregionConfig, TxScheme, table1_config
+from repro.experiments import common
+from repro.schemes import (
+    PluginScheme,
+    SchemeError,
+    SchemeSpec,
+    apply_scheme,
+    config_for,
+    engine_supported,
+    get,
+    register,
+    register_plugin,
+    resolve,
+    scheme_names,
+    schemes,
+    schemes_for_tag,
+    unregister,
+)
+from repro.system import GPUSystem
+
+#: Pre-refactor ``_config_signature`` values for every builtin arm
+#: (captured on the commit before the registry landed). These pin both
+#: the cache schema and the byte-identity of the existing scheme
+#: configurations: if one of these changes, cached results silently
+#: stop being reused — bump them only with a deliberate schema change.
+PINNED_SIGNATURES = {
+    "baseline": "26dedf985b22459e",
+    "lds": "97abcb45815660a7",
+    "icache": "e7139c9641f015da",
+    "icache+lds": "3d19eb276d733b4c",
+    "ducati": "19099c989f865d51",
+    "ducati+icache+lds": "88eae2e0b9702980",
+}
+#: perfect-l2-tlb is special-cased: the registry's configure transform
+#: now sets ``tlb.perfect_l2`` (the pre-refactor name-only path did not
+#: — that was the latent bug), so its signature matches the config
+#: ``fig02_03`` always used via ``with_perfect_l2_tlb()``.
+PINNED_PERFECT_L2 = "3abb200ae508a7f8"
+
+
+class TestRegistration:
+    def test_builtins_in_enum_order(self):
+        assert scheme_names()[: len(TxScheme)] == [s.value for s in TxScheme]
+
+    def test_plugin_registered_after_builtins(self):
+        assert "subregion-coalescing" in scheme_names()
+        assert not get("subregion-coalescing").builtin
+
+    def test_duplicate_name_rejected(self):
+        spec = get("lds")
+        with pytest.raises(SchemeError, match="already registered"):
+            register(spec)
+
+    def test_duplicate_plugin_name_rejected(self):
+        with pytest.raises(SchemeError, match="already registered"):
+            register_plugin("baseline", "imposter")
+
+    def test_unknown_scheme_lists_choices(self):
+        with pytest.raises(SchemeError) as excinfo:
+            get("not-a-scheme")
+        assert "valid schemes" in str(excinfo.value)
+        assert excinfo.value.choices == scheme_names()
+
+    def test_resolve_builtin_returns_enum_member(self):
+        # Builtins must resolve to the TxScheme member itself (pickling
+        # and cache identity depend on it), not a wrapper.
+        for member in TxScheme:
+            assert resolve(member.value) is member
+
+    def test_resolve_plugin_returns_plugin_scheme(self):
+        scheme = resolve("subregion-coalescing")
+        assert isinstance(scheme, PluginScheme)
+        assert scheme.value == "subregion-coalescing"
+        assert scheme.uses_subregion
+
+    def test_spec_name_must_match_scheme_value(self):
+        with pytest.raises(ValueError, match="does not match spec name"):
+            SchemeSpec(name="mismatch", scheme=TxScheme.LDS_ONLY,
+                       description="bad")
+
+    def test_unregister_roundtrip(self):
+        register_plugin("throwaway", "test-only scheme")
+        try:
+            assert "throwaway" in scheme_names()
+        finally:
+            unregister("throwaway")
+        assert "throwaway" not in scheme_names()
+
+
+class TestCapabilityWiring:
+    """Each spec's flags drive exactly which structures GPUSystem builds."""
+
+    @pytest.mark.parametrize("name", [s.value for s in TxScheme]
+                             + ["subregion-coalescing"])
+    def test_flags_match_structures(self, name):
+        scheme = resolve(name)
+        system = GPUSystem(config_for(name))
+        tr = system.cus[0].translation
+        assert (tr.lds_tx is not None) == scheme.uses_lds_tx
+        assert (tr.icache_tx is not None) == scheme.uses_icache_tx
+        assert (tr.ducati is not None) == scheme.uses_ducati
+        assert (tr.subregion is not None) == getattr(
+            scheme, "uses_subregion", False
+        )
+        assert (system.subregion is not None) == getattr(
+            scheme, "uses_subregion", False
+        )
+
+
+class TestCacheIdentity:
+    def test_builtin_signatures_pinned(self):
+        for name, expected in PINNED_SIGNATURES.items():
+            assert common._config_signature(config_for(name)) == expected, name
+
+    def test_perfect_l2_tlb_signature_matches_full_config(self):
+        assert (
+            common._config_signature(config_for("perfect-l2-tlb"))
+            == PINNED_PERFECT_L2
+        )
+        assert (
+            common._config_signature(table1_config().with_perfect_l2_tlb())
+            == PINNED_PERFECT_L2
+        )
+
+    def test_all_schemes_have_distinct_cache_keys(self):
+        signatures = {}
+        for name in scheme_names():
+            signature = common._config_signature(config_for(name))
+            assert signature not in signatures, (
+                f"{name} collides with {signatures.get(signature)}"
+            )
+            signatures[signature] = name
+
+    def test_subregion_section_does_not_perturb_builtin_signatures(self):
+        # The subregion config section is only serialized when it is
+        # non-default or the scheme uses it — adding it must not have
+        # moved any existing arm's signature.
+        config = table1_config()
+        assert config.subregion == SubregionConfig()
+        assert (
+            common._config_signature(config) == PINNED_SIGNATURES["baseline"]
+        )
+
+
+class TestPerfectL2Fix:
+    def test_config_for_sets_perfect_l2(self):
+        assert config_for("perfect-l2-tlb").tlb.perfect_l2
+
+    def test_apply_scheme_sets_perfect_l2(self):
+        assert apply_scheme(table1_config(), "perfect-l2-tlb").tlb.perfect_l2
+
+    def test_cli_build_config_sets_perfect_l2(self):
+        from repro.cli import _build_config
+
+        args = argparse.Namespace(scheme="perfect-l2-tlb")
+        assert _build_config(args).tlb.perfect_l2
+
+    def test_service_expand_spec_sets_perfect_l2(self):
+        from repro.service.jobs import expand_spec, validate_spec
+
+        spec = validate_spec(
+            {"apps": ["GUPS"], "schemes": ["perfect-l2-tlb"], "scale": 0.05}
+        )
+        (job,) = expand_spec(spec)
+        assert job.config.tlb.perfect_l2
+
+
+class TestEngineGating:
+    def test_builtins_support_both_engines(self):
+        for member in TxScheme:
+            assert engine_supported(member.value, "event")
+            assert engine_supported(member.value, "vectorized")
+
+    def test_fallback_plugin_supports_vectorized(self):
+        # "fallback" means the vectorized engine transparently routes the
+        # scheme through the event-exact path — still a supported engine.
+        assert engine_supported("subregion-coalescing", "vectorized")
+
+    def test_unsupported_plugin_rejects_vectorized_engine(self):
+        register_plugin(
+            "event-only", "test-only scheme", vectorized="unsupported"
+        )
+        try:
+            assert engine_supported("event-only", "event")
+            assert not engine_supported("event-only", "vectorized")
+            config = config_for("event-only")
+            with pytest.raises(ValueError, match="does not support engine"):
+                config.with_engine("vectorized")
+        finally:
+            unregister("event-only")
+
+    def test_service_rejects_unsupported_engine_combo(self):
+        from repro.service.jobs import SpecError, validate_spec
+
+        register_plugin(
+            "event-only", "test-only scheme", vectorized="unsupported"
+        )
+        try:
+            with pytest.raises(SpecError, match="does not support engine"):
+                validate_spec(
+                    {
+                        "apps": ["GUPS"],
+                        "schemes": ["event-only"],
+                        "engine": "vectorized",
+                    }
+                )
+        finally:
+            unregister("event-only")
+
+    def test_analytical_gating(self):
+        from repro.sim.analytical import FunctionalReachModel
+
+        config = config_for("subregion-coalescing")
+        with pytest.raises(ValueError, match="analytical"):
+            FunctionalReachModel(config)
+
+
+class TestSchemeUniverseAgreement:
+    """Regression for the scheme-list drift bug: every surface that
+    enumerates schemes must agree with the registry."""
+
+    def test_service_valid_schemes_is_registry(self):
+        from repro.service.jobs import valid_schemes
+
+        assert valid_schemes() == scheme_names()
+
+    def test_cli_argparse_choices_are_registry(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        for command, option in (("run", "--scheme"), ("compare", "--schemes")):
+            sub_parser = sub.choices[command]
+            action = next(
+                a for a in sub_parser._actions if option in a.option_strings
+            )
+            assert list(action.choices) == scheme_names(), (command, option)
+
+    def test_estimate_figures_subset_of_registry(self):
+        from repro.cli import _ESTIMATE_FIGURES
+
+        for names in _ESTIMATE_FIGURES.values():
+            assert set(names) <= set(scheme_names())
+
+    def test_fig13_grid_matches_tag(self):
+        from repro.experiments.fig13_main import SCHEMES
+
+        assert SCHEMES == tuple(
+            spec.scheme for spec in schemes_for_tag("fig13-victim")
+        )
+        # The tag order is pinned to the historical tuple: changing it
+        # reorders every fig13/fig14 sweep job list.
+        assert [s.value for s in SCHEMES] == ["lds", "icache", "icache+lds"]
+
+    def test_fig14_grid_matches_tag(self):
+        from repro.experiments.fig14_sharing_walks_pagesize import _SCHEMES_14B
+
+        assert _SCHEMES_14B == tuple(
+            spec.scheme for spec in schemes_for_tag("fig13-victim")
+        )
+
+    def test_fig16c_grid_membership_from_tag(self):
+        from repro.experiments.fig16_sensitivity import _FIG16C_SCHEMES
+
+        assert set(_FIG16C_SCHEMES) == {
+            spec.scheme for spec in schemes_for_tag("fig16-ducati")
+        }
+        assert [s.value for s in _FIG16C_SCHEMES] == [
+            "ducati", "icache+lds", "ducati+icache+lds",
+        ]
+
+    def test_subregion_grid_from_tag(self):
+        from repro.experiments.fig_subregion import GRID_SPECS
+
+        assert [spec.name for spec in GRID_SPECS] == [
+            "baseline", "icache+lds", "subregion-coalescing",
+        ]
+        assert GRID_SPECS == tuple(schemes_for_tag("subregion-grid"))
+
+    def test_sweep_grid_registered(self):
+        from repro.experiments.report import SWEEP_GRIDS
+
+        assert "subregion" in SWEEP_GRIDS
+
+    def test_every_spec_resolves_and_builds(self):
+        for spec in schemes():
+            config = config_for(spec.name)
+            assert config.scheme.value == spec.name
+
+
+class TestConfigRoundtrip:
+    def test_plugin_config_roundtrips_through_json(self):
+        from repro.config_io import config_from_json, config_to_json
+
+        config = config_for("subregion-coalescing")
+        restored = config_from_json(config_to_json(config))
+        assert restored == config
+        assert restored.scheme.value == "subregion-coalescing"
+        assert common._config_signature(restored) == common._config_signature(
+            config
+        )
+
+    def test_roundtrip_does_not_reapply_transform(self):
+        from repro.config_io import config_from_json, config_to_json
+
+        # A payload that names perfect-l2-tlb but (unusually) carries
+        # perfect_l2=False must roundtrip exactly — deserialization
+        # restores the payload, it does not re-run configure transforms.
+        config = table1_config(TxScheme.PERFECT_L2_TLB)
+        assert not config.tlb.perfect_l2
+        restored = config_from_json(config_to_json(config))
+        assert restored == config

@@ -4,6 +4,7 @@ import pytest
 
 from repro.config import TxScheme
 from repro.experiments.report import SWEEP_GRIDS
+from repro.schemes import scheme_names
 from repro.service.jobs import (
     KNOWN_FIELDS,
     SpecError,
@@ -24,7 +25,10 @@ class TestValidation:
     def test_minimal_custom_grid_defaults_all_schemes(self):
         spec = validate_spec({"apps": ["GUPS"], "scale": 0.05})
         assert spec["apps"] == ["GUPS"]
-        assert spec["schemes"] == [scheme.value for scheme in TxScheme]
+        # The default grid is the full registry universe: every builtin
+        # (enum order) plus registered plugin schemes.
+        assert spec["schemes"] == scheme_names()
+        assert [s.value for s in TxScheme] == scheme_names()[: len(TxScheme)]
 
     def test_not_a_dict(self):
         with pytest.raises(SpecError, match="JSON object"):
