@@ -20,6 +20,12 @@ Commands:
   port timelines attached and export Chrome trace-event JSON (one track
   per CU/SIMD, per shared port, per page-table walker) for Perfetto /
   ``chrome://tracing``.
+- ``worker``   — remote sweep worker: connect to the coordinator printed
+  by ``sweep --executor remote`` and pull jobs until shutdown
+  (``--respawn`` supervises and restarts after crashes).
+- ``cache``    — inspect and maintain the content-addressed result store
+  (``stats``, ``gc``, ``verify``; ``verify --fingerprints`` emits
+  diffable digest/fingerprint lines for cross-backend byte comparison).
 - ``serve``    — run the simulation service (:mod:`repro.service`): an
   asyncio HTTP API that accepts job specs, deduplicates them against
   in-flight jobs and the disk cache, batches concurrent requests onto
@@ -240,6 +246,31 @@ def cmd_sweep(args) -> int:
 
     grid = SWEEP_GRIDS[args.figure]
     jobs = jobs_with_engine(grid(args.scale), getattr(args, "engine", None))
+    executor = getattr(args, "executor", None)
+    remote_executor = None
+    if executor == "remote":
+        from repro.sim.executors.remote import (
+            Coordinator,
+            RemoteExecutor,
+            parse_address,
+        )
+
+        try:
+            host, port = parse_address(args.bind)
+        except ValueError as error:
+            print(f"repro sweep: error: {error}", file=sys.stderr)
+            return 2
+        coordinator = Coordinator(host=host, port=port)
+        print(f"[sweep] coordinator listening on {coordinator.address}")
+        print(f"[sweep] start workers with: repro worker "
+              f"--connect {coordinator.address}")
+        remote_executor = RemoteExecutor(
+            coordinator,
+            min_workers=args.min_workers,
+            start_timeout_s=args.start_timeout,
+            width=args.jobs,
+        )
+        executor = remote_executor
     try:
         runner = SweepRunner(
             jobs=args.jobs,
@@ -247,6 +278,7 @@ def cmd_sweep(args) -> int:
             timeout=args.timeout,
             max_retries=args.max_retries,
             keep_going=args.keep_going,
+            executor=executor,
         )
     except ValueError as error:
         print(f"repro sweep: error: {error}", file=sys.stderr)
@@ -259,11 +291,23 @@ def cmd_sweep(args) -> int:
               "re-run with --keep-going to record failures and continue",
               file=sys.stderr)
         return 1
+    except RuntimeError as error:
+        # e.g. the remote coordinator timed out waiting for workers.
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if remote_executor is not None:
+            remote_executor.close()
     print(
         f"{args.figure}: {report.jobs_submitted} jobs, "
         f"{report.unique_jobs} unique, {report.cache_hits} cache hits, "
         f"{report.jobs_simulated} simulated in {report.wall_clock_s:.2f}s"
     )
+    if report.store:
+        counters = ", ".join(
+            f"{name} {count}" for name, count in sorted(report.store.items())
+        )
+        print(f"{args.figure}: result store: {counters}")
     if report.failures:
         print(f"{args.figure}: {len(report.failures)} job(s) failed terminally:")
         for line in report.failure_lines():
@@ -286,6 +330,84 @@ def cmd_sweep(args) -> int:
             json.dump(report.to_json(), handle, indent=2, sort_keys=True)
         print(f"wrote {args.report_json}")
     return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.sim.executors.remote import supervise_worker, worker_main
+
+    if args.respawn:
+        return supervise_worker(
+            args.connect, cache_dir=args.cache_dir, retry_s=args.retry_s,
+            log=print,
+        )
+    return worker_main(
+        args.connect, cache_dir=args.cache_dir, retry_s=args.retry_s,
+        log=print,
+    )
+
+
+def _cache_store(args):
+    from repro.experiments import common
+    from repro.sim.store import ResultStore
+
+    cache_dir = args.cache_dir or common._CACHE_DIR
+    if not cache_dir:
+        print("repro cache: error: no cache directory (pass --cache-dir or "
+              "set REPRO_CACHE_DIR)", file=sys.stderr)
+        return None
+    return ResultStore(cache_dir)
+
+
+def cmd_cache_stats(args) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    print(json.dumps(store.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    removed = store.gc(
+        max_age_s=args.max_age_s,
+        tmp_grace_s=args.tmp_grace_s,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    total = sum(
+        count for bucket, count in removed.items() if bucket != "dry_run"
+    )
+    detail = ", ".join(
+        f"{count} {bucket}"
+        for bucket, count in sorted(removed.items())
+        if bucket != "dry_run" and count
+    )
+    print(f"repro cache gc: {verb} {total} file(s)"
+          + (f" ({detail})" if detail else ""))
+    return 0
+
+
+def cmd_cache_verify(args) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    outcome = store.verify(fingerprints=args.fingerprints)
+    if args.fingerprints:
+        for digest, fingerprint in outcome["fingerprints"]:
+            print(f"{digest} {fingerprint}")
+    print(
+        f"repro cache verify: {outcome['checked']} checked, "
+        f"{outcome['ok']} ok, {len(outcome['stale'])} stale, "
+        f"{len(outcome['corrupt'])} corrupt",
+        file=sys.stderr if args.fingerprints else sys.stdout,
+    )
+    for path in outcome["corrupt"]:
+        print(f"  corrupt: {path}", file=sys.stderr)
+    for path in outcome["stale"]:
+        print(f"  stale: {path}", file=sys.stderr)
+    return 1 if outcome["corrupt"] else 0
 
 
 def cmd_serve(args) -> int:
@@ -644,7 +766,92 @@ def build_parser() -> argparse.ArgumentParser:
              "hotspots) to PATH — the same payload the service's result "
              "endpoint returns",
     )
+    sweep_parser.add_argument(
+        "--executor", choices=["serial", "pool", "remote"], default=None,
+        help="execution backend (default: REPRO_EXECUTOR or pool). serial "
+             "runs in-process; pool uses local worker processes; remote "
+             "starts a coordinator that repro worker processes connect to",
+    )
+    sweep_parser.add_argument(
+        "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="remote executor only: coordinator listen address "
+             "(default: 127.0.0.1:0 — an ephemeral port, printed at start)",
+    )
+    sweep_parser.add_argument(
+        "--min-workers", dest="min_workers", type=int, default=1,
+        help="remote executor only: wait for this many connected workers "
+             "before dispatching (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--start-timeout", dest="start_timeout", type=float, default=120.0,
+        help="remote executor only: seconds to wait for --min-workers "
+             "connections before giving up (default: 120)",
+    )
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="remote sweep worker: connect to a coordinator and pull jobs",
+    )
+    worker_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address printed by repro sweep --executor remote",
+    )
+    worker_parser.add_argument(
+        "--cache-dir", dest="cache_dir", default=None,
+        help="on-disk result cache directory (default: the cache dir the "
+             "coordinator sends with each job)",
+    )
+    worker_parser.add_argument(
+        "--retry-s", dest="retry_s", type=float, default=15.0,
+        help="seconds to keep retrying the initial connection (default: 15)",
+    )
+    worker_parser.add_argument(
+        "--respawn", action="store_true",
+        help="supervise the worker and respawn it after a crash (a crash "
+             "then costs one job, not the worker slot)",
+    )
+    worker_parser.set_defaults(func=cmd_worker)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect and maintain the content-addressed result store"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    for name, func, help_text in (
+        ("stats", cmd_cache_stats,
+         "entry/debris counts, layout, and process-local hit/miss counters"),
+        ("gc", cmd_cache_gc,
+         "remove debris (orphan temp files, quarantined corrupt files, "
+         "stale-schema entries) and optionally age-expired results"),
+        ("verify", cmd_cache_verify,
+         "parse every stored result; exit 1 if any is corrupt"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=help_text)
+        cache_cmd.add_argument(
+            "--cache-dir", dest="cache_dir", default=None,
+            help="store directory (default: REPRO_CACHE_DIR)",
+        )
+        cache_cmd.set_defaults(func=func)
+        if name == "gc":
+            cache_cmd.add_argument(
+                "--max-age-s", dest="max_age_s", type=float, default=None,
+                help="also evict results older than this many seconds",
+            )
+            cache_cmd.add_argument(
+                "--tmp-grace-s", dest="tmp_grace_s", type=float, default=3600.0,
+                help="age before an orphan temp file counts as debris "
+                     "(default: 3600)",
+            )
+            cache_cmd.add_argument(
+                "--dry-run", dest="dry_run", action="store_true",
+                help="report what would be removed without removing it",
+            )
+        elif name == "verify":
+            cache_cmd.add_argument(
+                "--fingerprints", action="store_true",
+                help="print one 'digest fingerprint' line per entry (sorted) "
+                     "for diffing two stores byte-for-byte",
+            )
 
     serve_parser = sub.add_parser(
         "serve",

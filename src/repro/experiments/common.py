@@ -17,12 +17,12 @@ import hashlib
 import json
 import logging
 import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig, TxScheme, table1_config
 from repro.sim.results import SimResult, geomean
+from repro.sim.store import ResultStore
 from repro.system import GPUSystem
 from repro.workloads.registry import make_app
 
@@ -39,6 +39,8 @@ _CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", "")
 #: treated as stale and re-simulated (then overwritten).
 CACHE_SCHEMA = "repro-simresult-v2"
 
+#: Kept for callers that tune cache logging by name; the store itself
+#: logs under "repro.sim.store" (see :mod:`repro.sim.store`).
 _LOG = logging.getLogger("repro.experiments.cache")
 
 
@@ -74,11 +76,21 @@ def cache_key(app_name: str, config: SystemConfig, scale: float) -> str:
     return _cache_key(app_name, config, scale)
 
 
-def _disk_path(key: str) -> Optional[str]:
+def _store() -> Optional[ResultStore]:
+    """The content-addressed store rooted at ``_CACHE_DIR`` (the
+    module-level knob tests monkeypatch), or ``None`` when no disk cache
+    is configured."""
+
     if not _CACHE_DIR:
         return None
-    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
-    return os.path.join(_CACHE_DIR, f"{digest}.json")
+    return ResultStore(_CACHE_DIR)
+
+
+def _disk_path(key: str) -> Optional[str]:
+    store = _store()
+    if store is None:
+        return None
+    return store.path_for(key)
 
 
 def serialize_result(result: SimResult) -> Dict:
@@ -140,75 +152,27 @@ def result_fingerprint(result: SimResult) -> str:
 
 
 def _quarantine(path: str, reason: str) -> None:
-    """Move a bad cache file aside so it is kept for debugging but never
-    consulted (or silently overwritten) again."""
+    """Move a bad cache file aside (delegates to the store's unique-suffix
+    quarantine, which is safe against two processes racing on one entry)."""
 
-    quarantined = path + ".corrupt"
-    try:
-        os.replace(path, quarantined)
-    except OSError:
-        _LOG.warning("cache file %s is %s and could not be quarantined", path, reason)
+    store = _store()
+    if store is None:
         return
-    _LOG.warning(
-        "cache file %s is %s; quarantined to %s and re-simulating",
-        path,
-        reason,
-        quarantined,
-    )
+    store.quarantine(path, reason)
 
 
 def _load_disk(key: str) -> Optional[SimResult]:
-    path = _disk_path(key)
-    if path is None or not os.path.exists(path):
+    store = _store()
+    if store is None:
         return None
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        _quarantine(path, "corrupt (unreadable or invalid JSON)")
-        return None
-    if not isinstance(payload, dict):
-        _quarantine(path, "corrupt (not a JSON object)")
-        return None
-    if payload.get("schema") != CACHE_SCHEMA:
-        # A stale (pre-versioning or different-version) payload: re-simulate
-        # and let the fresh result overwrite it in place.
-        _LOG.warning(
-            "cache file %s has schema %r (want %r); re-simulating",
-            path,
-            payload.get("schema"),
-            CACHE_SCHEMA,
-        )
-        return None
-    try:
-        return deserialize_result(payload)
-    except (KeyError, TypeError):
-        _quarantine(path, "corrupt (schema tag valid but fields malformed)")
-        return None
+    return store.load(key)
 
 
 def _store_disk(key: str, result: SimResult) -> None:
-    path = _disk_path(key)
-    if path is None:
+    store = _store()
+    if store is None:
         return
-    os.makedirs(_CACHE_DIR, exist_ok=True)
-    # Concurrent writers (the sweep runner's worker processes) may store the
-    # same key at once: write to a private temp file and atomically replace,
-    # so readers only ever observe complete payloads and the last writer
-    # wins with a fully valid file.
-    fd, tmp_path = tempfile.mkstemp(
-        dir=os.path.dirname(path), prefix=os.path.basename(path), suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(serialize_result(result), handle)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+    store.store(key, result)
 
 
 def run_app(

@@ -128,9 +128,9 @@ class ServiceClient:
                 )
             time.sleep(poll_s)
 
-    def events(self, job_id: str) -> Iterator[Dict]:
-        """Stream the job's NDJSON progress events, following live until
-        the job reaches a terminal state."""
+    def _event_stream(self, job_id: str) -> Iterator[Dict]:
+        """One NDJSON stream connection, yielding decoded events until
+        the server closes it. Raises ``ServiceError`` for 4xx/5xx."""
 
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=max(self.timeout, 600.0)
@@ -148,3 +148,36 @@ class ServiceClient:
                     yield json.loads(line.decode())
         finally:
             connection.close()
+
+    def events(self, job_id: str) -> Iterator[Dict]:
+        """Stream the job's NDJSON progress events, following live until
+        the job reaches a terminal state.
+
+        Guaranteed to end with a terminal ``state`` event: if the stream
+        drops (or the server closes it) before one arrives — a broken
+        connection mid-run, or a race where the job went terminal while
+        the stream connect was in flight — the client falls back to
+        polling the status endpoint and yields a synthetic terminal event
+        (``"synthetic": True``, ``"seq": -1``) so consumers waiting for
+        the end never hang on a silent stream."""
+
+        terminal_seen = False
+        try:
+            for event in self._event_stream(job_id):
+                if (
+                    event.get("type") == "state"
+                    and event.get("state") in TERMINAL_STATES
+                ):
+                    terminal_seen = True
+                yield event
+        except (OSError, http.client.HTTPException):
+            if terminal_seen:
+                return  # the drop happened after the job ended; all done
+        if not terminal_seen:
+            payload = self.wait(job_id)
+            yield {
+                "type": "state",
+                "state": payload["state"],
+                "seq": -1,
+                "synthetic": True,
+            }

@@ -224,12 +224,19 @@ class ServiceServer:
         )
 
     def _healthz(self) -> Dict:
+        from repro.experiments import common
+        from repro.sim import store as result_store
+
         return {
             "status": "ok",
             "uptime_s": time.time() - self.manager.started_at,
             "jobs": self.manager.counts(),
             "pool": self.manager.pool.stats(),
             "client_disconnects": self.client_disconnects,
+            "store": {
+                "cache_dir": common._CACHE_DIR,
+                **result_store.counters_snapshot(),
+            },
         }
 
     def _version(self) -> Dict:
@@ -305,18 +312,22 @@ class ServiceServer:
     async def _delete_job(
         self, job_id: str, writer: asyncio.StreamWriter
     ) -> None:
-        ok, reason = self.manager.cancel(job_id)
+        ok, state, reason = self.manager.cancel(job_id)
         if ok:
             await self._write_json(
                 writer, HTTPStatus.OK, {"job_id": job_id, "state": CANCELLED}
             )
-        elif reason == "not found":
+        elif state is None:
             await self._write_json(
                 writer, HTTPStatus.NOT_FOUND, {"error": f"unknown job {job_id}"}
             )
         else:
+            # 409 carries the job's actual state so clients can tell a
+            # lost race (already running/done) from a bad request.
             await self._write_json(
-                writer, HTTPStatus.CONFLICT, {"job_id": job_id, "error": reason}
+                writer,
+                HTTPStatus.CONFLICT,
+                {"job_id": job_id, "state": state, "error": reason},
             )
 
     async def _stream_events(

@@ -207,19 +207,28 @@ class JobManager:
         with self._lock:
             return self._records.get(job_id)
 
-    def cancel(self, job_id: str) -> Tuple[bool, str]:
+    def cancel(self, job_id: str) -> Tuple[bool, Optional[str], str]:
         """Cancel a *queued* job. Running and terminal jobs refuse: a
-        batch already executing cannot be preempted mid-simulation."""
+        batch already executing cannot be preempted mid-simulation.
+
+        Returns ``(ok, state, message)`` — ``state`` is the job's actual
+        state after the call (``None`` for an unknown id), so the HTTP
+        layer can report *why* a cancel was refused rather than a bare
+        conflict."""
 
         with self._cond:
             record = self._records.get(job_id)
             if record is None:
-                return False, "not found"
+                return False, None, "not found"
             if record.state != QUEUED:
-                return False, f"job is {record.state}, only queued jobs cancel"
+                return (
+                    False,
+                    record.state,
+                    f"job is {record.state}, only queued jobs cancel",
+                )
             self._queue.remove(job_id)
             self._finish(record, CANCELLED)
-            return True, CANCELLED
+            return True, CANCELLED, "cancelled"
 
     def wait(self, job_id: str, timeout: float = 600.0) -> str:
         """Block until ``job_id`` reaches a terminal state; returns it."""

@@ -85,6 +85,9 @@ MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
 KEEP_GOING_ENV = "REPRO_KEEP_GOING"
 #: Deterministic fault-injection spec (see :func:`parse_fault_spec`).
 FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+#: Default executor backend name ("serial" | "pool"; "remote" needs a
+#: live coordinator and must be passed as an instance).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
 
 DEFAULT_MAX_RETRIES = 2
 DEFAULT_BACKOFF_S = 0.05
@@ -212,6 +215,11 @@ class SweepReport:
     profiled: bool = False
     #: Cross-worker cProfile top-N (empty unless ``profiled``).
     hotspots: List[Hotspot] = field(default_factory=list)
+    #: Disk-store counter increments during this sweep (hits, misses,
+    #: stores, quarantined, ...; see :mod:`repro.sim.store`). Counted in
+    #: the runner's process only — pool/remote workers keep their own
+    #: process-wide counters — and empty when no disk cache is configured.
+    store: Dict[str, int] = field(default_factory=dict)
 
     @property
     def duplicate_jobs(self) -> int:
@@ -267,6 +275,7 @@ class SweepReport:
             "timings": [asdict(timing) for timing in self.timings],
             "failures": [asdict(failure) for failure in self.failures],
             "hotspots": [asdict(hotspot) for hotspot in self.hotspots],
+            "store": dict(self.store),
         }
 
     @classmethod
@@ -294,6 +303,9 @@ class SweepReport:
                 timings=[JobTiming(**timing) for timing in payload["timings"]],
                 failures=[JobFailure(**failure) for failure in payload["failures"]],
                 hotspots=[Hotspot(**hotspot) for hotspot in payload["hotspots"]],
+                # Tolerant read: archived v1 payloads predate the store
+                # counters (additive key, same schema tag).
+                store=dict(payload.get("store", {})),
             )
         except (KeyError, TypeError) as error:
             raise ValueError(f"malformed sweep-report payload: {error!r}") from None
@@ -723,7 +735,16 @@ class SweepRunner:
         Optional :class:`PoolHost` owning the process pool's lifecycle.
         ``None`` (default) gives every sweep a private pool, torn down
         when the sweep finishes; the service passes a shared host so
-        concurrent requests batch onto one long-lived pool.
+        concurrent requests batch onto one long-lived pool. Only
+        meaningful with the ``"pool"`` executor.
+    executor:
+        Which backend executes attempts (see :mod:`repro.sim.executors`):
+        ``"pool"`` (default, from ``REPRO_EXECUTOR``) fans across a local
+        process pool, degrading to the in-process serial path at one
+        worker; ``"serial"`` forces the in-process path regardless of
+        worker count; or a :class:`~repro.sim.executors.base.SweepExecutor`
+        *instance* (the only way to select ``"remote"``, which needs a
+        live coordinator — ``repro sweep --executor remote`` builds one).
     """
 
     def __init__(
@@ -737,6 +758,7 @@ class SweepRunner:
         keep_going: Optional[bool] = None,
         fault: Optional[Callable[[SweepJob, int], None]] = None,
         pool_host: Optional[PoolHost] = None,
+        executor: Union[str, "SweepExecutor", None] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -767,6 +789,21 @@ class SweepRunner:
                 fault = parse_fault_spec(spec)
         self.fault = fault
         self.pool_host = pool_host
+        if executor is None:
+            executor = os.environ.get(EXECUTOR_ENV, "").strip() or "pool"
+        if isinstance(executor, str):
+            if executor not in ("serial", "pool", "remote"):
+                raise ValueError(
+                    f"executor must be one of serial/pool/remote (or a "
+                    f"SweepExecutor instance), got {executor!r}"
+                )
+            if executor == "remote":
+                raise ValueError(
+                    "the remote executor needs a live coordinator: pass "
+                    "executor=repro.sim.executors.remote.RemoteExecutor(...) "
+                    "(repro sweep --executor remote builds one)"
+                )
+        self.executor = executor
         self.last_report: Optional[SweepReport] = None
         self._hotspot_groups: List[List[Hotspot]] = []
 
@@ -790,8 +827,10 @@ class SweepRunner:
         self, jobs: Sequence[JobLike]
     ) -> Tuple[List[Optional[SimResult]], SweepReport]:
         from repro.experiments import common
+        from repro.sim import store as result_store
 
         started = time.perf_counter()
+        store_before = result_store.counters_snapshot()
         normalized = [_normalize(job) for job in jobs]
         report = SweepReport(
             jobs_submitted=len(normalized),
@@ -838,13 +877,16 @@ class SweepRunner:
                     f"({report.cache_hits} cache hit(s)) on "
                     f"{min(self.workers, len(pending))} worker(s)"
                 )
-                if self.workers == 1 or len(pending) == 1:
+                executor = self._resolve_executor(len(pending))
+                if executor is None:
                     self._run_serial(common, pending, resolved, report)
                 else:
-                    self._run_parallel(common, pending, resolved, report)
+                    self._run_parallel(common, pending, resolved, report, executor)
         finally:
             report.jobs_simulated = len(pending)
             report.wall_clock_s = time.perf_counter() - started
+            if common._CACHE_DIR:
+                report.store = result_store.counters_delta(store_before)
             if self._hotspot_groups:
                 report.hotspots = merge_hotspots(
                     self._hotspot_groups, profile_top() or DEFAULT_PROFILE_TOP
@@ -854,6 +896,27 @@ class SweepRunner:
                 _REPORT_LOG.append(report)
             self._log(report.summary())
         return [resolved[key] for key in keys], report
+
+    def _resolve_executor(self, pending_count: int):
+        """The executor backend for this run, or ``None`` for the
+        in-process serial path.
+
+        ``"serial"`` always runs in-process; ``"pool"`` degrades to the
+        in-process path when only one worker (or one job) would be used —
+        the historical behaviour that keeps ``REPRO_JOBS=1`` free of any
+        pool; an explicit :class:`SweepExecutor` instance is always
+        driven through the parallel collection loop.
+        """
+
+        if self.executor == "serial":
+            return None
+        if self.executor == "pool":
+            if self.workers == 1 or pending_count == 1:
+                return None
+            from repro.sim.executors.local import PoolExecutor
+
+            return PoolExecutor(self.pool_host)
+        return self.executor
 
     # -- cache plumbing ----------------------------------------------------
 
@@ -1000,21 +1063,19 @@ class SweepRunner:
                 )
                 break
 
-    def _run_parallel(self, common, pending, resolved, report) -> None:
+    def _run_parallel(self, common, pending, resolved, report, executor) -> None:
         total = len(pending)
         done_count = 0
         cache_dir = common._CACHE_DIR if self.use_cache else ""
-        host = self.pool_host if self.pool_host is not None else PrivatePoolHost()
         queue: deque = deque(_Pending(job) for job in pending)
         suspects: List[_Pending] = []
         in_flight: Dict[Future, _Pending] = {}
         started_at: Dict[Future, float] = {}
-        pool, workers = host.acquire(min(self.workers, total))
+        workers = executor.acquire(min(self.workers, total))
 
         def submit(entry: _Pending) -> bool:
             try:
-                future = pool.submit(
-                    _simulate,
+                future = executor.submit(
                     entry.job,
                     cache_dir,
                     self.use_cache,
@@ -1027,11 +1088,11 @@ class SweepRunner:
             started_at[future] = time.monotonic()
             return True
 
-        def recycle_pool(reason: str) -> None:
-            nonlocal pool
-            # A wedged or crashed worker cannot be reclaimed through the
-            # executor: abandon the pool (letting any stragglers finish
-            # and exit on their own) and start fresh. In-flight jobs are
+        def recycle_executor(reason: str) -> None:
+            # A wedged or crashed execution context cannot be reclaimed:
+            # have the backend replace it (the pool backend abandons the
+            # pool and builds a fresh one; the remote backend drops stale
+            # task ids so late results are discarded). In-flight jobs are
             # re-queued as innocent collateral — their attempt count is
             # untouched, so only genuinely failing jobs burn retries.
             for future, entry in list(in_flight.items()):
@@ -1039,8 +1100,8 @@ class SweepRunner:
                 queue.append(entry)
             in_flight.clear()
             started_at.clear()
-            pool = host.recycle(pool, workers, reason)
-            self._log(f"[sweep] {reason}; pool recycled, lost jobs re-queued")
+            executor.recycle(reason)
+            self._log(f"[sweep] {reason}; executor recycled, lost jobs re-queued")
 
         def crash_retry(entry: _Pending, error: BaseException) -> None:
             # A worker died while this job was in flight. The culprit
@@ -1074,7 +1135,7 @@ class SweepRunner:
                         submit_failed = True
                         break
                 if submit_failed:
-                    recycle_pool("worker pool broke on submit")
+                    recycle_executor("executor broke on submit")
                     continue
                 if not in_flight:
                     # Everything queued is backing off; sleep to the gate.
@@ -1146,7 +1207,7 @@ class SweepRunner:
                             f"{outcome.duration_s:.2f}s"
                         )
                 if pool_broken:
-                    recycle_pool("worker process crashed")
+                    recycle_executor("worker process crashed")
                     continue
 
                 if self.timeout is not None:
@@ -1189,22 +1250,32 @@ class SweepRunner:
                                     error,
                                     "timeout",
                                 )
-                        recycle_pool(f"{len(hung)} job(s) timed out")
+                        recycle_executor(f"{len(hung)} job(s) timed out")
+
+            if suspects:
+                # Still inside the try so the executor (and, for the
+                # remote backend, its coordinator) is alive for the
+                # isolation pass.
+                self._run_isolated(
+                    common, suspects, resolved, report, cache_dir, executor
+                )
         finally:
             # dirty: an exception (e.g. SweepAbort) left futures in
-            # flight — a reusing host must not lease that pool again.
-            host.release(pool, dirty=bool(in_flight))
+            # flight — a backend that reuses contexts must not lease
+            # that context again.
+            executor.close(dirty=bool(in_flight))
 
-        if suspects:
-            self._run_isolated(common, suspects, resolved, report, cache_dir)
+    def _run_isolated(
+        self, common, suspects, resolved, report, cache_dir, executor
+    ) -> None:
+        """Crash-attribution fallback: one job at a time, isolated.
 
-    def _run_isolated(self, common, suspects, resolved, report, cache_dir) -> None:
-        """Crash-attribution fallback: one job per fresh single-worker pool.
-
-        Jobs land here when their retries were exhausted by pool crashes.
-        Run serially in isolation, an innocent bystander completes
-        normally, while a job that kills even its private pool is the
-        culprit and gets a terminal ``"crash"`` record.
+        Jobs land here when their retries were exhausted by executor
+        crashes. Run serially in the backend's most isolated context (a
+        fresh single-worker pool locally; a lone remote attempt), an
+        innocent bystander completes normally, while a job that kills
+        even its isolated context is the culprit and gets a terminal
+        ``"crash"`` record.
         """
 
         for entry in suspects:
@@ -1212,38 +1283,34 @@ class SweepRunner:
             key = job.key()
             self._log(
                 f"[sweep] isolating {job.app_name} {job.config.scheme.value} "
-                "in a fresh single-worker pool"
+                "for crash attribution"
             )
-            solo = ProcessPoolExecutor(max_workers=1)
             try:
-                future = solo.submit(
-                    _simulate, job, cache_dir, self.use_cache, entry.attempt, self.fault
+                outcome = executor.run_isolated(
+                    job, cache_dir, self.use_cache, entry.attempt, self.fault,
+                    self.timeout,
                 )
-                try:
-                    outcome = future.result(timeout=self.timeout)
-                except BrokenProcessPool as error:
-                    self._record_failure(
-                        report, resolved, job, key, entry.attempt, error, "crash"
-                    )
-                except FuturesTimeoutError as error:
-                    self._record_failure(
-                        report, resolved, job, key, entry.attempt, error, "timeout"
-                    )
-                except Exception as error:
-                    self._record_failure(
-                        report, resolved, job, key, entry.attempt, error, "exception"
-                    )
-                else:
-                    self._record_success(
-                        common, report, resolved, job, key, outcome, entry.attempt
-                    )
-                    self._log(
-                        f"[sweep] isolated {job.app_name} "
-                        f"{job.config.scheme.value} completed in "
-                        f"{outcome.duration_s:.2f}s"
-                    )
-            finally:
-                solo.shutdown(wait=False, cancel_futures=True)
+            except BrokenProcessPool as error:
+                self._record_failure(
+                    report, resolved, job, key, entry.attempt, error, "crash"
+                )
+            except FuturesTimeoutError as error:
+                self._record_failure(
+                    report, resolved, job, key, entry.attempt, error, "timeout"
+                )
+            except Exception as error:
+                self._record_failure(
+                    report, resolved, job, key, entry.attempt, error, "exception"
+                )
+            else:
+                self._record_success(
+                    common, report, resolved, job, key, outcome, entry.attempt
+                )
+                self._log(
+                    f"[sweep] isolated {job.app_name} "
+                    f"{job.config.scheme.value} completed in "
+                    f"{outcome.duration_s:.2f}s"
+                )
 
 
 def run_sweep(

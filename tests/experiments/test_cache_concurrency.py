@@ -29,12 +29,24 @@ def _fresh_cache(tmp_path, monkeypatch):
     common.clear_cache()
 
 
+def _walk_suffix(tmp_path, suffix):
+    # The store shards entries into <d[:2]>/<d[2:4]>/ subdirectories;
+    # return paths relative to the root so tests can reopen them.
+    found = []
+    for dirpath, _dirnames, filenames in os.walk(tmp_path):
+        for name in filenames:
+            if name.endswith(suffix):
+                full = os.path.join(dirpath, name)
+                found.append(os.path.relpath(full, tmp_path))
+    return sorted(found)
+
+
 def cache_files(tmp_path):
-    return sorted(name for name in os.listdir(tmp_path) if name.endswith(".json"))
+    return _walk_suffix(tmp_path, ".json")
 
 
 def quarantined_files(tmp_path):
-    return sorted(name for name in os.listdir(tmp_path) if name.endswith(".corrupt"))
+    return _walk_suffix(tmp_path, ".corrupt")
 
 
 class TestCorruptFiles:
@@ -156,7 +168,7 @@ class TestConcurrentWriters:
         assert not errors
         assert len(cache_files(tmp_path)) == 1
         # No orphaned temp files left behind by the atomic-replace dance.
-        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert not _walk_suffix(tmp_path, ".tmp")
         loaded = common._load_disk(key)
         assert loaded is not None
         assert common.result_fingerprint(loaded) == common.result_fingerprint(result)

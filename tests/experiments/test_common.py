@@ -37,8 +37,10 @@ class TestDiskCache:
         monkeypatch.setattr(common, "_CACHE_DIR", str(tmp_path))
         common.clear_cache()
         common.run_app("SRAD", table1_config(), scale=0.05)
-        for name in os.listdir(tmp_path):
-            (tmp_path / name).write_text("{broken json")
+        for dirpath, _dirnames, filenames in os.walk(tmp_path):
+            for name in filenames:
+                (tmp_path / os.path.relpath(os.path.join(dirpath, name), tmp_path)
+                 ).write_text("{broken json")
         common.clear_cache()
         result = common.run_app("SRAD", table1_config(), scale=0.05)
         assert result.cycles > 0

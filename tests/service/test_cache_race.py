@@ -32,11 +32,16 @@ def tiny_jobs():
 
 
 def cache_files():
-    return sorted(glob.glob(os.path.join(common._CACHE_DIR, "*.json")))
+    # Recursive: the store shards entries into two directory levels.
+    return sorted(
+        glob.glob(os.path.join(common._CACHE_DIR, "**", "*.json"), recursive=True)
+    )
 
 
 def corrupt_files():
-    return glob.glob(os.path.join(common._CACHE_DIR, "*.corrupt"))
+    return glob.glob(
+        os.path.join(common._CACHE_DIR, "**", "*.corrupt"), recursive=True
+    )
 
 
 class TestRunnerRaces:

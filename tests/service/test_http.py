@@ -45,6 +45,8 @@ class TestEndpoints:
         assert health["uptime_s"] >= 0
         assert "queued" in health["jobs"] and "done" in health["jobs"]
         assert "alive" in health["pool"]
+        assert "cache_dir" in health["store"]
+        assert {"hits", "misses", "stores"} <= set(health["store"])
         version = client.version()
         assert version["cache_schema"] == CACHE_SCHEMA
         assert version["report_schema"] == REPORT_SCHEMA
@@ -139,6 +141,19 @@ class TestJobFlow:
         with pytest.raises(ServiceError) as excinfo:
             client.cancel(job_id)
         assert excinfo.value.status == 409
+        # The conflict body reports the job's actual state, so a client
+        # can tell "too late, already done" from a malformed request.
+        assert excinfo.value.payload["state"] == "done"
+        assert "done" in excinfo.value.payload["error"]
+
+    def test_delete_cancelled_409_reports_state(self, idle):
+        _, _, client = idle
+        job_id = client.submit(SPEC)["job_id"]
+        assert client.cancel(job_id)["state"] == "cancelled"
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel(job_id)
+        assert excinfo.value.status == 409
+        assert excinfo.value.payload["state"] == "cancelled"
 
     def test_cancelled_result_409(self, idle):
         _, server, client = idle
@@ -160,6 +175,47 @@ class TestEvents:
         assert states[-1] == "done"
         seqs = [e["seq"] for e in events]
         assert seqs == sorted(seqs)
+
+    def test_stream_after_terminal_replays_and_closes(self, live):
+        # Regression: the job reaches a terminal state BEFORE the stream
+        # connects. The server must replay the full event log (ending
+        # with the terminal state event) and close, not leave the client
+        # hanging on a silent stream.
+        _, _, client = live
+        job_id = client.submit(SPEC)["job_id"]
+        client.wait(job_id, timeout=300)
+        events = list(client.events(job_id))
+        assert events, "post-terminal stream replayed nothing"
+        assert events[-1]["type"] == "state"
+        assert events[-1]["state"] == "done"
+        assert not events[-1].get("synthetic")
+
+    def test_stream_after_cancel_replays_terminal(self, idle):
+        _, _, client = idle
+        job_id = client.submit(SPEC)["job_id"]
+        client.cancel(job_id)
+        events = list(client.events(job_id))
+        assert [e["state"] for e in events if e["type"] == "state"] == [
+            "queued", "cancelled"
+        ]
+
+    def test_dropped_stream_falls_back_to_status_poll(self, idle):
+        # A stream that dies before delivering a terminal event must not
+        # strand the consumer: the client polls status and yields a
+        # synthetic terminal event instead.
+        _, _, client = idle
+        job_id = client.submit(SPEC)["job_id"]
+        client.cancel(job_id)
+
+        def broken_stream(_job_id):
+            yield {"seq": 0, "type": "state", "state": "queued"}
+            raise OSError("connection reset mid-stream")
+
+        client._event_stream = broken_stream
+        events = list(client.events(job_id))
+        assert events[-1] == {
+            "type": "state", "state": "cancelled", "seq": -1, "synthetic": True,
+        }
 
     def test_failure_event_streamed(self, live, monkeypatch):
         monkeypatch.setenv("REPRO_FAULT_SPEC", "GUPS:*:exc")

@@ -88,7 +88,7 @@ class TestDedup:
     def test_cancelled_spec_resubmits_as_new_job(self):
         with JobManager(workers=1, autostart=False) as manager:
             record, _ = manager.submit(tiny_spec())
-            assert manager.cancel(record.job_id) == (True, CANCELLED)
+            assert manager.cancel(record.job_id) == (True, CANCELLED, "cancelled")
             fresh, deduplicated = manager.submit(tiny_spec())
             assert not deduplicated
             assert fresh.job_id != record.job_id
@@ -98,21 +98,22 @@ class TestCancel:
     def test_cancel_queued(self):
         with JobManager(workers=1, autostart=False) as manager:
             record, _ = manager.submit(tiny_spec())
-            ok, state = manager.cancel(record.job_id)
-            assert ok and state == CANCELLED
+            ok, state, message = manager.cancel(record.job_id)
+            assert ok and state == CANCELLED and message == "cancelled"
             assert record.state == CANCELLED
             assert record.events[-1]["state"] == CANCELLED
 
     def test_cancel_unknown(self):
         with JobManager(workers=1, autostart=False) as manager:
-            assert manager.cancel("feedfacecafe") == (False, "not found")
+            assert manager.cancel("feedfacecafe") == (False, None, "not found")
 
     def test_cancel_terminal_refused(self):
         with JobManager(workers=1) as manager:
             record, _ = manager.submit(tiny_spec())
             manager.wait(record.job_id, timeout=180)
-            ok, reason = manager.cancel(record.job_id)
+            ok, state, reason = manager.cancel(record.job_id)
             assert not ok
+            assert state == record.state
             assert "done" in reason
 
     def test_cancelled_job_never_runs(self):
